@@ -1,0 +1,55 @@
+// Fig. 12: training speedup vs global batch size for the five large
+// benchmark models on Configs A/B/C — DP without overlap, DP with overlap,
+// and the best hybrid plan from the DAPPLE planner.
+#include "harness.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+
+using namespace dapple;
+
+int main() {
+  bench::PrintHeader("Fig. 12 — speedup vs global batch size (5 models x A/B/C)",
+                     "DAPPLE paper, Fig. 12 (a)-(o)");
+
+  struct Series {
+    const char* name;
+    std::vector<long> batches;
+  };
+  const Series series[] = {
+      {"VGG-19", {512, 1024, 2048, 4096}},
+      {"GNMT-16", {512, 1024, 2048, 4096}},
+      {"BERT-48", {32, 64, 128, 256}},
+      {"XLNet-36", {32, 64, 128, 256}},
+      {"AmoebaNet-36", {128, 256, 512, 1024}},
+  };
+
+  for (const Series& s : series) {
+    const model::ModelProfile m = model::ModelByName(s.name);
+    for (char config : {'A', 'B', 'C'}) {
+      const topo::Cluster cluster = bench::SixteenDeviceConfig(config);
+      std::printf("\n%s on Config-%c (speedup vs single device, 16 GPUs)\n", s.name,
+                  config);
+      AsciiTable table({"GBS", "DP no-overlap", "DP overlap", "Best hybrid", "Plan"});
+      for (long gbs : s.batches) {
+        const bench::EvalRow row = bench::Evaluate(m, cluster, gbs);
+        table.AddRow(
+            {AsciiTable::Int(gbs),
+             row.dp_no_overlap.feasible ? AsciiTable::Num(row.dp_no_overlap.speedup, 2)
+                                        : "OOM",
+             row.dp_overlap.feasible ? AsciiTable::Num(row.dp_overlap.speedup, 2) : "OOM",
+             AsciiTable::Num(row.hybrid.speedup, 2), row.planned.plan.ToString()});
+      }
+      std::printf("%s", table.ToString().c_str());
+    }
+  }
+  std::printf(
+      "\nShape check (paper Fig. 12): the hybrid never loses to the DP\n"
+      "variants; the gap widens on slower networks (C > B > A) and for\n"
+      "gradient-heavy models (BERT/XLNet/GNMT); AmoebaNet has no DP entry\n"
+      "(OOM); speedups grow with GBS as pipelines fill. Paper headline:\n"
+      "avg hybrid-over-DP-overlap 1.71x/1.37x/1.79x on A/B/C, up to 2.32x.\n");
+  return 0;
+}

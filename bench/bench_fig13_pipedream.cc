@@ -1,0 +1,63 @@
+// Fig. 13: DAPPLE's plan vs PipeDream's strategy, both executed under the
+// DAPPLE synchronous runtime, on 2x8 and 4x8 Config-A clusters.
+#include "harness.h"
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "planner/torchgpipe_planner.h"
+
+using namespace dapple;
+
+int main() {
+  bench::PrintHeader("Fig. 13 — DAPPLE vs PipeDream strategies under sync runtime",
+                     "DAPPLE paper, Fig. 13");
+
+  struct Row {
+    const char* name;
+    long gbs;
+    double paper_2x8_ratio;  // DAPPLE over PipeDream-strategy speedup, 2x8
+  };
+  const Row rows[] = {{"XLNet-36", 128, 14.9 / 8.6},
+                      {"BERT-Large", 128, 14.5 / 11.5},
+                      {"AmoebaNet-36", 128, 11.6 / 6.3},
+                      {"VGG-19", 1024, 9.6 / 3.0}};
+
+  for (int servers : {2, 4}) {
+    const topo::Cluster cluster = topo::MakeConfigA(servers);
+    std::printf("\n%dx8 cluster (%d GPUs)\n", servers, cluster.num_devices());
+    AsciiTable table({"Model", "DAPPLE speedup", "w/ PipeDream strategy",
+                      "w/ torchgpipe strategy", "ratio vs PipeDream",
+                      "paper ratio (2x8)"});
+    for (const Row& row : rows) {
+      const model::ModelProfile m = model::ModelByName(row.name);
+      Session session(m, cluster);
+      // Few stages win (SIV-D); capping the search keeps the 4x8 sweep
+      // fast without changing the chosen plans.
+      planner::PlannerOptions opts;
+      opts.max_stages = 4;
+      opts.prune_slack = 1.3;
+      const auto ours = session.Plan(row.gbs, opts);
+      const auto ours_run = session.Run(ours.plan, row.gbs);
+
+      planner::PipedreamPlanner pipedream(m, cluster);
+      const auto theirs = pipedream.Plan();
+      const auto theirs_run = session.Run(theirs, row.gbs);
+
+      planner::TorchGpipePlanner torchgpipe(m, cluster);
+      const auto tg_run = session.Run(torchgpipe.Plan(), row.gbs);
+
+      table.AddRow({row.name, AsciiTable::Num(ours_run.speedup, 1),
+                    AsciiTable::Num(theirs_run.speedup, 1),
+                    AsciiTable::Num(tg_run.speedup, 1),
+                    AsciiTable::Num(ours_run.speedup / theirs_run.speedup, 2) + "x",
+                    servers == 2 ? AsciiTable::Num(row.paper_2x8_ratio, 2) + "x" : "-"});
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  std::printf("\nShape check: DAPPLE's strategies consistently beat PipeDream's under\n"
+              "synchronous training (paper: up to 3.23x), with the largest gaps on\n"
+              "models where PipeDream picks deep straight pipelines or replicates\n"
+              "parameter-heavy stages across machines.\n");
+  return 0;
+}

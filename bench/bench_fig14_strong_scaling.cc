@@ -1,0 +1,63 @@
+// Fig. 14: strong scaling — speedup at fixed global batch as the device
+// count grows from 2 to 16 on Config-A, for four models; DP variants vs
+// the best hybrid plan.
+#include "harness.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+
+using namespace dapple;
+
+namespace {
+
+// Config-A-like cluster with `gpus` devices: whole 8-GPU servers plus a
+// partial server for the remainder (scaling inside a rack).
+topo::Cluster PartialConfigA(int gpus) {
+  if (gpus <= 8) {
+    return topo::Cluster("Config-A", 1, gpus, topo::DeviceSpec{},
+                         topo::MakeConfigA(1).interconnect());
+  }
+  if (gpus % 8 == 0) return topo::MakeConfigA(gpus / 8);
+  // Mixed shapes are modelled as two servers of gpus/2 (keeps the
+  // inter-server boundary, which is what drives the scaling cliff).
+  return topo::Cluster("Config-A", 2, gpus / 2, topo::DeviceSpec{},
+                       topo::MakeConfigA(1).interconnect());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 14 — strong scaling at fixed GBS (Config-A)",
+                     "DAPPLE paper, Fig. 14");
+
+  struct Series {
+    const char* name;
+    long gbs;
+  };
+  const Series series[] = {{"GNMT-16", 2048}, {"BERT-48", 128}, {"XLNet-36", 128},
+                           {"AmoebaNet-36", 256}};
+
+  for (const Series& s : series) {
+    const model::ModelProfile m = model::ModelByName(s.name);
+    std::printf("\n%s (GBS %ld)\n", s.name, s.gbs);
+    AsciiTable table({"GPUs", "DP no-overlap", "DP overlap", "Best hybrid", "Plan"});
+    for (int gpus : {2, 4, 8, 10, 12, 16}) {
+      const topo::Cluster cluster = PartialConfigA(gpus);
+      const bench::EvalRow row = bench::Evaluate(m, cluster, s.gbs);
+      table.AddRow(
+          {AsciiTable::Int(gpus),
+           row.dp_no_overlap.feasible ? AsciiTable::Num(row.dp_no_overlap.speedup, 2)
+                                      : "OOM",
+           row.dp_overlap.feasible ? AsciiTable::Num(row.dp_overlap.speedup, 2) : "OOM",
+           AsciiTable::Num(row.hybrid.speedup, 2), row.planned.plan.ToString()});
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  std::printf("\nShape check (paper Fig. 14): DP scalability dips when crossing the\n"
+              "8->10 GPU boundary (gradients start crossing Ethernet) while the\n"
+              "hybrid scales smoothly (tiny cross-stage activations are insensitive\n"
+              "to the slow link); AmoebaNet-36 has no DP line (OOM).\n");
+  return 0;
+}

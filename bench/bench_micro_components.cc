@@ -1,0 +1,113 @@
+// Google-benchmark microbenchmarks for the library's hot paths: the
+// discrete-event engine, the latency estimator, the planner DP, and the
+// communication cost models. These guard the planner's "offline within a
+// few seconds" property the paper claims (SII-C).
+#include <benchmark/benchmark.h>
+
+#include "dapple/dapple.h"
+
+using namespace dapple;
+
+namespace {
+
+void BM_EngineUniformPipeline(benchmark::State& state) {
+  const int stages = static_cast<int>(state.range(0));
+  const int micro = static_cast<int>(state.range(1));
+  const auto m = model::MakeUniformSynthetic(stages, 0.001, 0.002, 1_MiB, 1000, 1);
+  const auto cluster = topo::MakeConfigB(stages);
+  planner::ParallelPlan plan;
+  plan.model = m.name();
+  for (int s = 0; s < stages; ++s) {
+    planner::StagePlan sp;
+    sp.layer_begin = s;
+    sp.layer_end = s + 1;
+    sp.devices = topo::DeviceSet::Range(s, 1);
+    plan.stages.push_back(sp);
+  }
+  runtime::BuildOptions o;
+  o.global_batch_size = micro;
+  o.micro_batch_size = 1;
+  runtime::GraphBuilder builder(m, cluster, plan, o);
+  const auto built = builder.Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::Engine::Run(built.graph, built.engine_options));
+  }
+  state.SetItemsProcessed(state.iterations() * built.graph.num_tasks());
+}
+BENCHMARK(BM_EngineUniformPipeline)->Args({4, 16})->Args({8, 32})->Args({16, 64});
+
+void BM_LatencyEstimate(benchmark::State& state) {
+  const auto bert = model::MakeBert48();
+  const auto cluster = topo::MakeConfigA(2);
+  planner::LatencyEstimator est(bert, cluster);
+  planner::ParallelPlan plan;
+  plan.model = bert.name();
+  planner::StagePlan s0, s1;
+  s0.layer_begin = 0;
+  s0.layer_end = 24;
+  s0.devices = topo::DeviceSet::Range(0, 8);
+  s1.layer_begin = 24;
+  s1.layer_end = 48;
+  s1.devices = topo::DeviceSet::Range(8, 8);
+  plan.stages = {s0, s1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Estimate(plan, 64));
+  }
+}
+BENCHMARK(BM_LatencyEstimate);
+
+void BM_PlannerSearch(benchmark::State& state) {
+  const auto m = model::ModelByName(state.range(0) == 0 ? "GNMT-16" : "BERT-48");
+  const auto cluster = topo::MakeConfigA(2);
+  for (auto _ : state) {
+    planner::PlannerOptions o;
+    o.global_batch_size = state.range(0) == 0 ? 1024 : 64;
+    planner::DapplePlanner planner(m, cluster, o);
+    benchmark::DoNotOptimize(planner.Plan());
+  }
+}
+BENCHMARK(BM_PlannerSearch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_PipedreamSearch(benchmark::State& state) {
+  const auto bert = model::MakeBert48();
+  const auto cluster = topo::MakeConfigA(2);
+  for (auto _ : state) {
+    planner::PipedreamPlanner planner(bert, cluster);
+    benchmark::DoNotOptimize(planner.Plan());
+  }
+}
+BENCHMARK(BM_PipedreamSearch)->Unit(benchmark::kMillisecond);
+
+void BM_AllReduceCost(benchmark::State& state) {
+  const auto cluster = topo::MakeConfigA(2);
+  comm::CostModel cost(cluster);
+  const auto devices = topo::DeviceSet::Range(0, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.AllReduce(devices, 1_GiB));
+  }
+}
+BENCHMARK(BM_AllReduceCost);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto bert = model::MakeBert48();
+  const auto cluster = topo::MakeConfigA(2);
+  planner::ParallelPlan plan;
+  plan.model = bert.name();
+  planner::StagePlan s0, s1;
+  s0.layer_begin = 0;
+  s0.layer_end = 24;
+  s0.devices = topo::DeviceSet::Range(0, 8);
+  s1.layer_begin = 24;
+  s1.layer_end = 48;
+  s1.devices = topo::DeviceSet::Range(8, 8);
+  plan.stages = {s0, s1};
+  runtime::BuildOptions o;
+  o.global_batch_size = 128;
+  for (auto _ : state) {
+    runtime::GraphBuilder builder(bert, cluster, plan, o);
+    benchmark::DoNotOptimize(builder.Build());
+  }
+}
+BENCHMARK(BM_GraphBuild);
+
+}  // namespace

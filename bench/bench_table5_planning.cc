@@ -1,0 +1,66 @@
+// Table V (with Table III's hardware configs as the header): DAPPLE
+// planning results for every benchmark model on Configs A/B/C with 16
+// devices — output plan, split position and ACR.
+#include "harness.h"
+
+#include <cstdio>
+
+#include "common/table.h"
+
+using namespace dapple;
+
+int main() {
+  bench::PrintHeader("Table V — DAPPLE planning results (16 devices)",
+                     "DAPPLE paper, Tables III and V");
+
+  std::printf("Hardware configs (Table III):\n");
+  for (char c : {'A', 'B', 'C'}) {
+    const topo::Cluster cl = bench::SixteenDeviceConfig(c);
+    std::printf("  %s: %d servers x %d %s, intra %s, inter %.0f Gbps\n", cl.name().c_str(),
+                cl.num_servers(), cl.gpus_per_server(), cl.device().name.c_str(),
+                cl.gpus_per_server() > 1 ? "NVLink" : "n/a",
+                cl.interconnect().inter_server_bandwidth * 8.0 / 1e9);
+  }
+
+  struct Row {
+    const char* name;
+    long gbs;
+    const char* paper_plan[3];  // A, B, C
+  };
+  const Row rows[] = {
+      {"ResNet-50", 2048, {"DP", "DP", "DP"}},
+      {"VGG-19", 2048, {"DP", "DP", "15:1"}},
+      {"GNMT-16", 1024, {"8:8 @ 9:7", "8:8 @ 9:7", "Straight"}},
+      {"BERT-48", 64, {"8:8 @ 23:25", "Straight", "Straight"}},
+      {"XLNet-36", 128, {"8:8 @ 18:18", "8:8 @ 18:18", "Straight"}},
+      {"AmoebaNet-36", 128, {"8:8 @ 24:12", "11:5 @ 27:9", "11:5 @ 27:9"}},
+  };
+
+  AsciiTable table({"Model (GBS)", "Config", "Plan (measured)", "Split (measured)",
+                    "ACR", "Plan (paper)"});
+  for (const Row& row : rows) {
+    const model::ModelProfile m = model::ModelByName(row.name);
+    for (int ci = 0; ci < 3; ++ci) {
+      const char config = static_cast<char>('A' + ci);
+      const topo::Cluster cluster = bench::SixteenDeviceConfig(config);
+      Session session(m, cluster);
+      const auto planned = session.Plan(row.gbs);
+      table.AddRow({std::string(row.name) + " (" + std::to_string(row.gbs) + ")",
+                    std::string(1, config), planned.plan.ToString(),
+                    planned.plan.SplitString(),
+                    planned.estimate.acr > 0 ? AsciiTable::Num(planned.estimate.acr, 2)
+                                             : "-",
+                    row.paper_plan[ci]});
+    }
+    table.AddSeparator();
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nShape check: DP for compute-dense/small models (ResNet, VGG on fast\n"
+      "nets); two-stage 8:8 server-aligned pipelines on Config-A for the\n"
+      "uniform giants; deeper/narrower pipelines as the network slows; VGG-19\n"
+      "isolates its fc tail on Config-C; AmoebaNet's split tilts toward the\n"
+      "front (its last third holds 73%% of parameters). Deviations from the\n"
+      "paper's exact plans are catalogued in EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "harness.h"
+
+#include <cstdio>
+
+namespace dapple::bench {
+
+EvalRow Evaluate(const model::ModelProfile& model, const topo::Cluster& cluster,
+                 long global_batch_size) {
+  EvalRow row;
+  row.model = model.name();
+  row.config = cluster.name();
+  row.global_batch_size = global_batch_size;
+  Session session(model, cluster);
+  row.planned = session.Plan(global_batch_size);
+  row.hybrid = session.Run(row.planned.plan, global_batch_size);
+  row.dp_no_overlap = planner::EstimateDataParallel(
+      model, cluster, global_batch_size, planner::DataParallelVariant::kNoOverlap);
+  row.dp_overlap = planner::EstimateDataParallel(
+      model, cluster, global_batch_size, planner::DataParallelVariant::kOverlap);
+  return row;
+}
+
+topo::Cluster SixteenDeviceConfig(char config) {
+  return config == 'A' || config == 'a' ? topo::MakeConfigA(2)
+                                        : topo::MakeConfig(config, 16);
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_anchor) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_anchor.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintComparison(const std::string& metric, const std::string& paper,
+                     const std::string& measured) {
+  std::printf("  %-46s paper: %-14s measured: %s\n", metric.c_str(), paper.c_str(),
+              measured.c_str());
+}
+
+}  // namespace dapple::bench

@@ -1,0 +1,41 @@
+// Shared helpers for the per-table/per-figure benchmark binaries. Each
+// binary regenerates one table or figure from the paper's evaluation
+// (SVI); these helpers wrap the plan-then-simulate loop and the paper-vs-
+// measured presentation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dapple/dapple.h"
+
+namespace dapple::bench {
+
+/// One evaluated configuration: the planner's choice plus the simulated
+/// iteration and both DP baselines.
+struct EvalRow {
+  std::string model;
+  std::string config;
+  long global_batch_size = 0;
+  planner::PlanResult planned;
+  runtime::IterationReport hybrid;
+  planner::DataParallelEstimate dp_no_overlap;
+  planner::DataParallelEstimate dp_overlap;
+};
+
+/// Plans and simulates `model` on `cluster`, with DP baselines.
+EvalRow Evaluate(const model::ModelProfile& model, const topo::Cluster& cluster,
+                 long global_batch_size);
+
+/// The cluster the paper uses for a config letter with 16 devices total
+/// ('A' = 2x8, 'B'/'C' = 16x1).
+topo::Cluster SixteenDeviceConfig(char config);
+
+/// Prints the standard header naming the experiment and its paper anchor.
+void PrintHeader(const std::string& title, const std::string& paper_anchor);
+
+/// Prints a paper-vs-measured comparison line.
+void PrintComparison(const std::string& metric, const std::string& paper,
+                     const std::string& measured);
+
+}  // namespace dapple::bench

@@ -1,0 +1,47 @@
+// Cluster scaling study: how the planner's choice and the achieved speedup
+// evolve as one model scales from 2 to 32 GPUs across the three hardware
+// configs — a capacity-planning view built on the public API.
+//
+// Usage: cluster_scaling [model-name] [global-batch]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.h"
+#include "common/error.h"
+#include "dapple/dapple.h"
+
+using namespace dapple;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "XLNet-36";
+  const long gbs = argc > 2 ? std::atol(argv[2]) : 128;
+  const model::ModelProfile m = model::ModelByName(name);
+
+  std::printf("%s, GBS %ld\n", name.c_str(), gbs);
+  for (char config : {'A', 'B', 'C'}) {
+    AsciiTable table({"GPUs", "Plan", "Split", "Speedup", "Efficiency", "Peak mem"});
+    for (int gpus : {2, 4, 8, 16, 32}) {
+      const topo::Cluster cluster =
+          config == 'A' ? topo::MakeConfigA(std::max(1, gpus / 8))
+                        : topo::MakeConfig(config, gpus);
+      if (cluster.num_devices() != gpus && config == 'A' && gpus < 8) continue;
+      Session session(m, cluster);
+      planner::PlannerOptions opts;
+      opts.max_stages = 6;  // keep the 32-GPU search quick
+      try {
+        const auto planned = session.Plan(gbs, opts);
+        const auto r = session.Run(planned.plan, gbs);
+        table.AddRow({AsciiTable::Int(cluster.num_devices()), planned.plan.ToString(),
+                      planned.plan.SplitString(), AsciiTable::Num(r.speedup, 2),
+                      AsciiTable::Num(100 * r.speedup / cluster.num_devices(), 0) + "%",
+                      FormatBytes(r.max_peak_memory)});
+      } catch (const dapple::Error&) {
+        table.AddRow({AsciiTable::Int(cluster.num_devices()), "infeasible", "-", "-", "-",
+                      "-"});
+      }
+    }
+    std::printf("\nConfig-%c:\n%s", config, table.ToString().c_str());
+  }
+  return 0;
+}

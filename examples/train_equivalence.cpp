@@ -1,0 +1,59 @@
+// End-to-end numeric training demo: trains the same MLP under serial,
+// data-parallel and DAPPLE-pipelined execution and prints the (identical)
+// loss curves — the paper's "convergence is safely preserved" claim as a
+// runnable program.
+//
+// Usage: train_equivalence [iterations] [micro-batch]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dapple/dapple.h"
+#include "train/trainer.h"
+
+using namespace dapple::train;
+
+int main(int argc, char** argv) {
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 100;
+  const int micro = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  DatasetSpec spec;
+  spec.samples = 64;
+  spec.in_features = 6;
+  spec.out_features = 2;
+  spec.label_noise = 0.01;
+  const Dataset data = MakeTeacherDataset(spec);
+  dapple::Rng rng(99);
+  const MlpModel model = MlpModel::MakeMlp(6, 12, 2, /*hidden_layers=*/2, rng);
+
+  auto train_with = [&](Strategy strategy) {
+    TrainerOptions o;
+    o.strategy = strategy;
+    o.iterations = iterations;
+    o.replicas = 4;
+    o.pipeline.stage_bounds = {0, 2, 5};
+    o.pipeline.micro_batch = micro;
+    auto opt = MakeAdam(0.01f);
+    return Train(model, data, *opt, o);
+  };
+
+  TrainingRun serial = train_with(Strategy::kSerial);
+  TrainingRun dp = train_with(Strategy::kDataParallel);
+  TrainingRun pipe = train_with(Strategy::kPipelined);
+
+  std::printf("iter   serial       data-parallel  DAPPLE-pipeline\n");
+  for (int it = 0; it < iterations; it += std::max(1, iterations / 10)) {
+    std::printf("%4d   %.6f     %.6f       %.6f\n", it,
+                serial.losses[static_cast<std::size_t>(it)],
+                dp.losses[static_cast<std::size_t>(it)],
+                pipe.losses[static_cast<std::size_t>(it)]);
+  }
+  std::printf("final  %.6f     %.6f       %.6f\n", serial.final_loss(), dp.final_loss(),
+              pipe.final_loss());
+  std::printf("\nmax final-weight difference: DP %.2e, pipeline %.2e\n",
+              MaxWeightDiff(serial.final_model, dp.final_model),
+              MaxWeightDiff(serial.final_model, pipe.final_model));
+  std::printf("pipeline max in-flight stashes per stage:");
+  for (int k : pipe.max_in_flight) std::printf(" %d", k);
+  std::printf("  (early backward scheduling at work)\n");
+  return 0;
+}

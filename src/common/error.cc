@@ -1,0 +1,17 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace dapple::internal {
+
+void ThrowCheckFailure(const char* condition, const char* file, int line,
+                       const std::string& message) {
+  std::ostringstream os;
+  os << "DAPPLE_CHECK failed: " << condition << " at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace dapple::internal

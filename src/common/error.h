@@ -1,0 +1,69 @@
+// Error handling for DAPPLE. Invariant violations and invalid user input
+// throw dapple::Error with a formatted message; the DAPPLE_CHECK family is
+// used at API boundaries and for internal invariants that must hold in
+// release builds too (cost models silently producing NaNs are far worse
+// than a crash).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dapple {
+
+/// Exception type for all DAPPLE precondition/invariant failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] void ThrowCheckFailure(const char* condition, const char* file, int line,
+                                    const std::string& message);
+
+}  // namespace internal
+
+}  // namespace dapple
+
+/// Checks `cond` in all build types; throws dapple::Error on failure.
+/// Additional stream-style context may be appended:
+///   DAPPLE_CHECK(m > 0) << "micro-batches required";
+#define DAPPLE_CHECK(cond)                                                         \
+  if (cond) {                                                                      \
+  } else                                                                           \
+    ::dapple::internal::CheckMessageBuilder(#cond, __FILE__, __LINE__).stream()
+
+#define DAPPLE_CHECK_GE(a, b) DAPPLE_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DAPPLE_CHECK_GT(a, b) DAPPLE_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DAPPLE_CHECK_LE(a, b) DAPPLE_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DAPPLE_CHECK_LT(a, b) DAPPLE_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DAPPLE_CHECK_EQ(a, b) DAPPLE_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DAPPLE_CHECK_NE(a, b) DAPPLE_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+
+namespace dapple::internal {
+
+/// Accumulates streamed context then throws from the destructor. Kept in a
+/// header because the macro instantiates it at every use site.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* condition, const char* file, int line)
+      : condition_(condition), file_(file), line_(line) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
+    ThrowCheckFailure(condition_, file_, line_, stream_.str());
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* condition_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dapple::internal

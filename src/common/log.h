@@ -1,0 +1,44 @@
+// Minimal leveled logging. Benchmarks and examples print results directly;
+// the logger is for diagnostics in the planner/simulator and defaults to
+// warnings-only so test output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dapple {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { EmitLog(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace dapple
+
+#define DAPPLE_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::dapple::GetLogLevel())) { \
+  } else                                                       \
+    ::dapple::internal::LogLine(level).stream()
+
+#define DAPPLE_LOG_DEBUG DAPPLE_LOG(::dapple::LogLevel::kDebug)
+#define DAPPLE_LOG_INFO DAPPLE_LOG(::dapple::LogLevel::kInfo)
+#define DAPPLE_LOG_WARN DAPPLE_LOG(::dapple::LogLevel::kWarn)
+#define DAPPLE_LOG_ERROR DAPPLE_LOG(::dapple::LogLevel::kError)

@@ -1,0 +1,54 @@
+// Deterministic random number generation. Everything in this repository is
+// reproducible: every stochastic component (workload jitter, property-test
+// case generation) derives from an explicit 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace dapple {
+
+/// Thin wrapper over std::mt19937_64 with convenience samplers. Copyable so
+/// tests can fork independent streams from a parent seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Normal sample; useful for per-layer compute-time jitter in synthetic
+  /// model generation.
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Derives a decorrelated child seed (splitmix64 finalizer).
+  std::uint64_t Fork() {
+    std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dapple

@@ -1,0 +1,54 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dapple {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Quantile(std::vector<double> values, double q) {
+  DAPPLE_CHECK(!values.empty()) << "quantile of empty vector";
+  DAPPLE_CHECK(q >= 0.0 && q <= 1.0) << "q=" << q;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  DAPPLE_CHECK(!values.empty()) << "geometric mean of empty vector";
+  double log_sum = 0.0;
+  for (double v : values) {
+    DAPPLE_CHECK_GT(v, 0.0) << "geometric mean requires positive values";
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace dapple

@@ -1,0 +1,40 @@
+// Small statistics helpers used by benchmark harnesses and the simulator's
+// utilization accounting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dapple {
+
+/// Online mean/min/max/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-th quantile (0 <= q <= 1) by linear interpolation between
+/// order statistics. The input is copied; throws on empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Geometric mean of strictly positive values; throws otherwise.
+double GeometricMean(const std::vector<double>& values);
+
+}  // namespace dapple

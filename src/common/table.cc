@@ -1,0 +1,71 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dapple {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DAPPLE_CHECK(!headers_.empty()) << "table needs at least one column";
+}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  DAPPLE_CHECK_EQ(cells.size(), headers_.size()) << "row arity mismatch";
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string AsciiTable::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::ostringstream os;
+  os << rule() << line(headers_) << rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << rule();
+    } else {
+      os << line(row);
+    }
+  }
+  os << rule();
+  return os.str();
+}
+
+std::string AsciiTable::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string AsciiTable::Int(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return buf;
+}
+
+}  // namespace dapple

@@ -1,0 +1,36 @@
+// ASCII table renderer used by the benchmark harnesses to print paper-style
+// tables (Table I, IV, V, VI, VII, VIII) and figure series.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dapple {
+
+/// Column-aligned ASCII table. Rows are added as strings; numeric helpers
+/// are provided for common cell formats.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator at the current row position.
+  void AddSeparator();
+
+  /// Renders the table with a header rule; every column is padded to its
+  /// widest cell.
+  std::string ToString() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  static std::string Num(double value, int precision = 2);
+  static std::string Int(long long value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace dapple

@@ -1,0 +1,57 @@
+// Minimal fixed-size thread pool used to parallelize embarrassingly
+// parallel phases: the planner's per-level candidate evaluations and the
+// Session's simulator re-ranking. Tasks are std::function<void()>; the
+// pool offers a bulk ParallelFor that blocks until every index is done.
+//
+// Determinism note: callers must make worker outputs order-independent
+// (e.g. write to pre-sized slots indexed by the loop variable) — the pool
+// guarantees completion, not ordering.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dapple {
+
+class ThreadPool {
+ public:
+  /// `threads` of 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Runs body(i) for i in [0, count) across the pool and waits. Exceptions
+  /// from the body propagate (the first one captured is rethrown).
+  void ParallelFor(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dapple

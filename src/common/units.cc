@@ -1,0 +1,41 @@
+#include "common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace dapple {
+
+std::string FormatBytes(Bytes bytes) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t idx = 0;
+  while (value >= 1024.0 && idx + 1 < kSuffix.size()) {
+    value /= 1024.0;
+    ++idx;
+  }
+  char buf[32];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", value, kSuffix[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", value, kSuffix[idx]);
+  }
+  return buf;
+}
+
+std::string FormatTime(TimeSec seconds) {
+  char buf[32];
+  if (seconds < 0) {
+    std::snprintf(buf, sizeof(buf), "-%s", FormatTime(-seconds).c_str());
+  } else if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1fns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace dapple

@@ -1,0 +1,154 @@
+#include "model/profile.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dapple::model {
+
+const char* ToString(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSGD: return "SGD";
+    case OptimizerKind::kAdam: return "Adam";
+    case OptimizerKind::kRMSProp: return "RMSProp";
+  }
+  return "?";
+}
+
+Bytes OptimizerBytesPerParam(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSGD: return 8;       // weight + gradient
+    case OptimizerKind::kAdam: return 16;     // + two moment slots
+    case OptimizerKind::kRMSProp: return 12;  // + one accumulator
+  }
+  return 8;
+}
+
+ModelProfile::ModelProfile(std::string name, std::vector<LayerProfile> layers,
+                           int profile_micro_batch, OptimizerKind optimizer)
+    : name_(std::move(name)),
+      layers_(std::move(layers)),
+      profile_micro_batch_(profile_micro_batch),
+      optimizer_(optimizer) {
+  DAPPLE_CHECK(!layers_.empty()) << "model " << name_ << " has no layers";
+  DAPPLE_CHECK_GT(profile_micro_batch_, 0) << "model " << name_;
+
+  param_prefix_.assign(layers_.size() + 1, 0);
+  fwd_prefix_.assign(layers_.size() + 1, 0.0);
+  bwd_prefix_.assign(layers_.size() + 1, 0.0);
+  overhead_prefix_.assign(layers_.size() + 1, 0.0);
+  act_mem_prefix_.assign(layers_.size() + 1, 0.0);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const LayerProfile& l = layers_[i];
+    DAPPLE_CHECK_GE(l.forward_time, 0.0) << name_ << " layer " << l.name;
+    DAPPLE_CHECK_GE(l.backward_time, 0.0) << name_ << " layer " << l.name;
+    param_prefix_[i + 1] = param_prefix_[i] + l.param_count;
+    fwd_prefix_[i + 1] = fwd_prefix_[i] + l.forward_time;
+    bwd_prefix_[i + 1] = bwd_prefix_[i] + l.backward_time;
+    overhead_prefix_[i + 1] = overhead_prefix_[i] + l.fixed_overhead;
+    act_mem_prefix_[i + 1] =
+        act_mem_prefix_[i] + static_cast<double>(l.activation_memory);
+  }
+}
+
+const LayerProfile& ModelProfile::layer(int i) const {
+  DAPPLE_CHECK(i >= 0 && i < num_layers()) << name_ << " layer index " << i;
+  return layers_[static_cast<std::size_t>(i)];
+}
+
+void ModelProfile::CheckRange(int begin, int end) const {
+  DAPPLE_CHECK(0 <= begin && begin <= end && end <= num_layers())
+      << name_ << " layer range [" << begin << ", " << end << ")";
+}
+
+double ModelProfile::Scale(double samples) const {
+  DAPPLE_CHECK_GT(samples, 0.0) << "samples";
+  return samples / static_cast<double>(profile_micro_batch_);
+}
+
+std::uint64_t ModelProfile::ParamCount(int begin, int end) const {
+  CheckRange(begin, end);
+  return param_prefix_[static_cast<std::size_t>(end)] -
+         param_prefix_[static_cast<std::size_t>(begin)];
+}
+
+Bytes ModelProfile::ParamBytes(int begin, int end) const {
+  return ParamCount(begin, end) * 4;  // fp32
+}
+
+Bytes ModelProfile::BaselineMemory(int begin, int end) const {
+  return ParamCount(begin, end) * OptimizerBytesPerParam(optimizer_);
+}
+
+TimeSec ModelProfile::ForwardTime(int begin, int end, double samples,
+                                  double relative_speed) const {
+  CheckRange(begin, end);
+  DAPPLE_CHECK_GT(relative_speed, 0.0);
+  const double variable = (fwd_prefix_[static_cast<std::size_t>(end)] -
+                           fwd_prefix_[static_cast<std::size_t>(begin)]) *
+                          Scale(samples);
+  const double fixed = overhead_prefix_[static_cast<std::size_t>(end)] -
+                       overhead_prefix_[static_cast<std::size_t>(begin)];
+  return (variable + fixed) / relative_speed;
+}
+
+TimeSec ModelProfile::BackwardTime(int begin, int end, double samples,
+                                   double relative_speed) const {
+  CheckRange(begin, end);
+  DAPPLE_CHECK_GT(relative_speed, 0.0);
+  const double variable = (bwd_prefix_[static_cast<std::size_t>(end)] -
+                           bwd_prefix_[static_cast<std::size_t>(begin)]) *
+                          Scale(samples);
+  const double fixed = overhead_prefix_[static_cast<std::size_t>(end)] -
+                       overhead_prefix_[static_cast<std::size_t>(begin)];
+  return (variable + fixed) / relative_speed;
+}
+
+Bytes ModelProfile::ActivationAt(int boundary, double samples) const {
+  DAPPLE_CHECK(boundary >= 0 && boundary <= num_layers())
+      << name_ << " boundary " << boundary;
+  if (boundary == 0 || boundary == num_layers()) return 0;
+  const double bytes =
+      static_cast<double>(layers_[static_cast<std::size_t>(boundary - 1)].output_activation) *
+      Scale(samples);
+  return static_cast<Bytes>(std::llround(bytes));
+}
+
+Bytes ModelProfile::ActivationMemory(int begin, int end, double samples) const {
+  CheckRange(begin, end);
+  const double bytes = (act_mem_prefix_[static_cast<std::size_t>(end)] -
+                        act_mem_prefix_[static_cast<std::size_t>(begin)]) *
+                       Scale(samples);
+  return static_cast<Bytes>(std::llround(bytes));
+}
+
+Bytes ModelProfile::CheckpointMemory(int begin, int end, double samples) const {
+  CheckRange(begin, end);
+  if (begin == end) return 0;
+  // One checkpoint per layer: the input activation of each layer in the
+  // range. Layer 0's input is the micro-batch itself, approximated by its
+  // own output activation size.
+  double bytes = 0.0;
+  for (int l = begin; l < end; ++l) {
+    if (l == 0) {
+      bytes += static_cast<double>(layers_.front().output_activation) * Scale(samples);
+    } else {
+      bytes += static_cast<double>(
+                   layers_[static_cast<std::size_t>(l - 1)].output_activation) *
+               Scale(samples);
+    }
+  }
+  return static_cast<Bytes>(std::llround(bytes));
+}
+
+Bytes ModelProfile::MaxLayerActivationMemory(int begin, int end, double samples) const {
+  CheckRange(begin, end);
+  double biggest = 0.0;
+  for (int l = begin; l < end; ++l) {
+    biggest = std::max(
+        biggest, static_cast<double>(layers_[static_cast<std::size_t>(l)].activation_memory));
+  }
+  return static_cast<Bytes>(std::llround(biggest * Scale(samples)));
+}
+
+}  // namespace dapple::model

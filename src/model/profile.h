@@ -1,0 +1,117 @@
+// Model profiles: the per-layer statistics the DAPPLE profiler extracts
+// (paper Fig. 1 — compute times, activation sizes, parameter sizes). A
+// ModelProfile is the planner's only view of a model, so reproducing the
+// paper's planning decisions reduces to calibrating these vectors against
+// every quantitative statement in the paper (see model/zoo.cc).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dapple::model {
+
+/// Optimizer choice; determines the always-resident bytes per parameter
+/// (fp32 weight + gradient + optimizer slots), matching Table VIII's
+/// "16 bytes per parameter with Adam".
+enum class OptimizerKind { kSGD, kAdam, kRMSProp };
+
+const char* ToString(OptimizerKind kind);
+
+/// Resident bytes per parameter: weight+grad (8) plus 0/1/2 fp32 slots.
+Bytes OptimizerBytesPerParam(OptimizerKind kind);
+
+/// Per-layer statistics measured at the profile micro-batch size.
+/// Compute times split into a fixed launch/overhead part and a part that
+/// scales linearly with the number of samples; the fixed part is what makes
+/// very small per-replica slices inefficient (the paper's Fig. 8 "tail
+/// effect" and its advice to keep micro-batches large enough).
+struct LayerProfile {
+  std::string name;
+  /// Variable forward time at the profile micro-batch size.
+  TimeSec forward_time = 0.0;
+  /// Variable backward time at the profile micro-batch size.
+  TimeSec backward_time = 0.0;
+  /// Per-invocation fixed overhead (kernel launches, framework).
+  TimeSec fixed_overhead = 0.0;
+  /// Bytes of activation handed to the next layer (at profile micro-batch).
+  Bytes output_activation = 0;
+  /// Bytes of activation state this layer keeps live until its backward
+  /// pass (at profile micro-batch).
+  Bytes activation_memory = 0;
+  /// Number of trainable parameters.
+  std::uint64_t param_count = 0;
+};
+
+/// Immutable profiled model: an ordered layer list plus the micro-batch
+/// size the numbers were measured at. All query methods take a `samples`
+/// argument — the number of examples one device processes per task — and
+/// scale the variable parts linearly from the profile micro-batch.
+class ModelProfile {
+ public:
+  ModelProfile(std::string name, std::vector<LayerProfile> layers, int profile_micro_batch,
+               OptimizerKind optimizer);
+
+  const std::string& name() const { return name_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const LayerProfile& layer(int i) const;
+  const std::vector<LayerProfile>& layers() const { return layers_; }
+  int profile_micro_batch() const { return profile_micro_batch_; }
+  OptimizerKind optimizer() const { return optimizer_; }
+
+  /// Total trainable parameters of layers [begin, end).
+  std::uint64_t ParamCount(int begin, int end) const;
+  std::uint64_t TotalParamCount() const { return ParamCount(0, num_layers()); }
+
+  /// fp32 parameter bytes of layers [begin, end) — the AllReduce volume.
+  Bytes ParamBytes(int begin, int end) const;
+  Bytes TotalParamBytes() const { return ParamBytes(0, num_layers()); }
+
+  /// Resident bytes for weights+grads+optimizer state of layers [begin,end).
+  Bytes BaselineMemory(int begin, int end) const;
+
+  /// Forward compute time of layers [begin, end) for `samples` examples on
+  /// a device of `relative_speed` (1.0 = profiling device).
+  TimeSec ForwardTime(int begin, int end, double samples, double relative_speed = 1.0) const;
+
+  /// Backward analogue of ForwardTime.
+  TimeSec BackwardTime(int begin, int end, double samples, double relative_speed = 1.0) const;
+
+  /// Activation bytes crossing the boundary after layer `boundary-1` (i.e.
+  /// the input to layer `boundary`), for `samples` examples. Boundary 0 is
+  /// the model input and is never transferred; boundary num_layers() is the
+  /// loss and carries nothing.
+  Bytes ActivationAt(int boundary, double samples) const;
+
+  /// Activation state layers [begin, end) keep live between their forward
+  /// and backward passes, for `samples` examples.
+  Bytes ActivationMemory(int begin, int end, double samples) const;
+
+  /// Activation state kept when re-computation is on: one checkpoint per
+  /// layer (its input activation); everything between checkpoints is
+  /// recomputed block-by-block during backward, so only these boundaries
+  /// stay resident per in-flight micro-batch.
+  Bytes CheckpointMemory(int begin, int end, double samples) const;
+
+  /// Largest single layer's activation state in [begin, end) — the
+  /// transient working set while re-computation replays one layer block.
+  Bytes MaxLayerActivationMemory(int begin, int end, double samples) const;
+
+ private:
+  void CheckRange(int begin, int end) const;
+  double Scale(double samples) const;
+
+  std::string name_;
+  std::vector<LayerProfile> layers_;
+  int profile_micro_batch_;
+  OptimizerKind optimizer_;
+  // Prefix sums for O(1) range queries; index i covers layers [0, i).
+  std::vector<std::uint64_t> param_prefix_;
+  std::vector<double> fwd_prefix_;
+  std::vector<double> bwd_prefix_;
+  std::vector<double> overhead_prefix_;
+  std::vector<double> act_mem_prefix_;
+};
+
+}  // namespace dapple::model

@@ -1,0 +1,46 @@
+#include "model/profiler.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dapple::model {
+
+Profiler::Profiler(topo::DeviceSpec device, ProfilerOptions options)
+    : device_(std::move(device)), options_(options) {}
+
+ModelProfile Profiler::Measure(const ModelProfile& model) const {
+  Rng rng(options_.seed);
+  std::vector<LayerProfile> layers = model.layers();
+  for (LayerProfile& l : layers) {
+    double noise = 1.0;
+    if (options_.time_jitter > 0.0) {
+      // Clamp so noisy measurements can never go non-positive.
+      noise = std::max(0.05, rng.Normal(1.0, options_.time_jitter));
+    }
+    l.forward_time = l.forward_time / device_.relative_speed * noise;
+    l.backward_time = l.backward_time / device_.relative_speed * noise;
+    l.fixed_overhead = l.fixed_overhead / device_.relative_speed;
+  }
+  return ModelProfile(model.name(), std::move(layers), model.profile_micro_batch(),
+                      model.optimizer());
+}
+
+ProfileReport Profiler::Report(const ModelProfile& model) const {
+  ProfileReport report;
+  report.model = model.name();
+  report.param_count = model.TotalParamCount();
+  report.param_bytes = model.TotalParamBytes();
+  report.profile_micro_batch = model.profile_micro_batch();
+  const double samples = model.profile_micro_batch();
+  report.memory_cost = model.BaselineMemory(0, model.num_layers()) +
+                       model.ActivationMemory(0, model.num_layers(), samples);
+  report.forward_time =
+      model.ForwardTime(0, model.num_layers(), samples, device_.relative_speed);
+  report.backward_time =
+      model.BackwardTime(0, model.num_layers(), samples, device_.relative_speed);
+  report.fits_single_device = report.memory_cost <= device_.memory;
+  return report;
+}
+
+}  // namespace dapple::model

@@ -1,0 +1,52 @@
+// The DAPPLE profiler (paper Fig. 1, step 1). On the real system it runs a
+// few training steps per layer and records compute times, activation sizes
+// and parameter sizes. Here it "measures" a zoo model on a simulated
+// device: scaling times by device speed and optionally applying
+// measurement jitter, then summarizing into the Table II statistics.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "model/profile.h"
+#include "topo/cluster.h"
+
+namespace dapple::model {
+
+/// Whole-model summary at the profile micro-batch size (paper Table II).
+struct ProfileReport {
+  std::string model;
+  std::uint64_t param_count = 0;
+  Bytes param_bytes = 0;     // fp32 weights == AllReduce gradient volume
+  int profile_micro_batch = 0;
+  Bytes memory_cost = 0;     // weights+opt state+activations at profile mb
+  TimeSec forward_time = 0;  // whole model, one micro-batch
+  TimeSec backward_time = 0;
+  bool fits_single_device = true;  // memory_cost <= device memory
+};
+
+struct ProfilerOptions {
+  /// Multiplicative Gaussian noise applied to measured layer times
+  /// (0 = exact). Models real profiling variance.
+  double time_jitter = 0.0;
+  std::uint64_t seed = 0x5eed;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(topo::DeviceSpec device, ProfilerOptions options = {});
+
+  /// Produces the "measured" profile: layer times divided by device speed
+  /// and perturbed by jitter. Sizes are exact (they are architecture
+  /// properties, not measurements).
+  ModelProfile Measure(const ModelProfile& model) const;
+
+  /// Summarizes a model at its profile micro-batch size.
+  ProfileReport Report(const ModelProfile& model) const;
+
+ private:
+  topo::DeviceSpec device_;
+  ProfilerOptions options_;
+};
+
+}  // namespace dapple::model

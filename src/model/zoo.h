@@ -1,0 +1,76 @@
+// The benchmark model zoo: synthetic per-layer profiles calibrated to the
+// DAPPLE paper's published characteristics (Tables I, II, VIII and the
+// prose in §VI-B/§VI-C). These substitute for profiling the real models on
+// a V100; the planner/scheduler only ever see these vectors, so matching
+// the published distributions reproduces the published decisions.
+#pragma once
+
+#include <vector>
+
+#include "model/profile.h"
+
+namespace dapple::model {
+
+/// GNMT-16 (291M params, Adam, profile micro-batch 64): 8 encoder + 8
+/// decoder LSTM layers; decoder layers cost ~1.45x an encoder layer; 26MB
+/// boundary activations.
+ModelProfile MakeGnmt16();
+
+/// BERT-48 (640M params, Adam, profile micro-batch 2): 48 uniform encoder
+/// layers; 8.8MB boundary activations.
+ModelProfile MakeBert48();
+
+/// BERT with `encoder_layers` encoders (used by the Table VIII weak-scaling
+/// study: 48/106/215/428 layers).
+ModelProfile MakeBert(int encoder_layers);
+
+/// BERT-Large as a 26-unit graph (embedding + 24 encoders + head), matching
+/// Table VII's layer indices 0..26.
+ModelProfile MakeBertLarge();
+
+/// XLNet-36 (500M params, Adam, profile micro-batch 1): 36 uniform layers;
+/// 4.2MB boundary activations.
+ModelProfile MakeXlnet36();
+
+/// ResNet-50 (24.5M params, SGD, profile micro-batch 128) as 16 residual
+/// blocks; small weights, high compute density.
+ModelProfile MakeResnet50();
+
+/// VGG-19 (137M params, SGD, profile micro-batch 32) as 25 units; ~70% of
+/// weights in the first fully-connected unit near the end; activations
+/// decay 384MB -> 3MB along the model.
+ModelProfile MakeVgg19();
+
+/// AmoebaNet-36 (933M params, RMSProp, profile micro-batch 1): 36 cells;
+/// the last third holds 73% of parameters; per-cell compute ramps up by
+/// <=40%; 11.2MB boundary activations. Does not fit one 16GB device.
+ModelProfile MakeAmoebaNet36();
+
+/// Parameterized decoder-only transformer profile from architecture
+/// hyper-parameters, using standard FLOP counting (12 * hidden^2 per token
+/// per layer for attention+MLP) against a reference device throughput.
+/// Lets users plan arbitrary model sizes beyond the fixed zoo.
+struct TransformerSpec {
+  int layers = 24;
+  int hidden = 1024;
+  int sequence_length = 512;
+  int profile_micro_batch = 2;
+  /// Sustained reference-device throughput used to turn FLOPs into time.
+  double device_teraflops = 15.0;  // fp32 V100-class
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+};
+ModelProfile MakeTransformer(const TransformerSpec& spec);
+
+/// Uniform synthetic model for tests: `layers` identical layers.
+ModelProfile MakeUniformSynthetic(int layers, TimeSec forward_time, TimeSec backward_time,
+                                  Bytes activation, std::uint64_t params_per_layer,
+                                  int profile_micro_batch = 1,
+                                  OptimizerKind optimizer = OptimizerKind::kSGD);
+
+/// The five models of Table V / Fig. 12 plus ResNet-50 (Table II order).
+std::vector<ModelProfile> AllBenchmarkModels();
+
+/// Looks a benchmark model up by its Table II name (e.g. "BERT-48").
+ModelProfile ModelByName(const std::string& name);
+
+}  // namespace dapple::model

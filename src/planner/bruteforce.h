@@ -1,0 +1,36 @@
+// Exhaustive reference planner for small instances: enumerates every
+// contiguous partition into up to `max_stages` stages with every replica
+// allocation produced by the three placement policies, and returns the
+// exact latency-optimal plan. Exponential — use only for tests and
+// ablation studies validating the DP planner's memoization heuristic.
+#pragma once
+
+#include "planner/dp_planner.h"
+
+namespace dapple::planner {
+
+struct BruteForceOptions {
+  long global_batch_size = 0;
+  int max_stages = 3;
+  LatencyOptions latency;
+};
+
+class BruteForcePlanner {
+ public:
+  BruteForcePlanner(const model::ModelProfile& model, const topo::Cluster& cluster,
+                    BruteForceOptions options);
+
+  /// Exhaustive search; throws when nothing is feasible.
+  PlanResult Plan() const;
+
+ private:
+  void Recurse(int layer_begin, topo::AllocationState state,
+               std::vector<StagePlan>& prefix, const LatencyEstimator& estimator,
+               PlanResult& best, long& evaluated) const;
+
+  const model::ModelProfile* model_;
+  const topo::Cluster* cluster_;
+  BruteForceOptions options_;
+};
+
+}  // namespace dapple::planner

@@ -1,0 +1,42 @@
+#include "planner/dp_baseline.h"
+
+#include "common/error.h"
+
+namespace dapple::planner {
+
+ParallelPlan MakeDataParallelPlan(const model::ModelProfile& model,
+                                  const topo::Cluster& cluster) {
+  ParallelPlan plan;
+  plan.model = model.name();
+  StagePlan stage;
+  stage.layer_begin = 0;
+  stage.layer_end = model.num_layers();
+  stage.devices = topo::DeviceSet::Range(0, cluster.num_devices());
+  plan.stages.push_back(std::move(stage));
+  return plan;
+}
+
+DataParallelEstimate EstimateDataParallel(const model::ModelProfile& model,
+                                          const topo::Cluster& cluster,
+                                          long global_batch_size,
+                                          DataParallelVariant variant) {
+  DAPPLE_CHECK_GT(global_batch_size, 0);
+  LatencyOptions options;
+  options.overlap_allreduce = (variant == DataParallelVariant::kOverlap);
+  options.check_memory = true;
+  LatencyEstimator estimator(model, cluster, options);
+
+  const ParallelPlan plan = MakeDataParallelPlan(model, cluster);
+  const PlanEstimate est = estimator.Estimate(plan, global_batch_size);
+
+  DataParallelEstimate result;
+  result.feasible = est.feasible;
+  result.infeasible_reason = est.infeasible_reason;
+  result.iteration_time = est.latency;
+  result.exposed_comm_time = est.stages.front().allreduce;
+  result.compute_time = est.latency - result.exposed_comm_time;
+  result.speedup = est.speedup;
+  return result;
+}
+
+}  // namespace dapple::planner

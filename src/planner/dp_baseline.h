@@ -1,0 +1,36 @@
+// Data-parallel baseline estimators (the "DP No Overlap" and "DP + Normal
+// Overlap" series of paper Figs. 12/14). Both use gradient accumulation
+// (one AllReduce per iteration); the overlap variant hides gradient
+// buckets behind the backward pass of the final micro-batch, reverse-layer
+// order, matching [20]'s intra-iteration overlap.
+#pragma once
+
+#include "model/profile.h"
+#include "planner/latency.h"
+#include "topo/cluster.h"
+
+namespace dapple::planner {
+
+enum class DataParallelVariant { kNoOverlap, kOverlap };
+
+struct DataParallelEstimate {
+  bool feasible = true;
+  std::string infeasible_reason;
+  TimeSec iteration_time = 0.0;
+  TimeSec compute_time = 0.0;
+  TimeSec exposed_comm_time = 0.0;
+  double speedup = 0.0;  // vs. single-device sequential execution
+};
+
+/// Replicates the whole model on every cluster device and estimates one
+/// training iteration at `global_batch_size`.
+DataParallelEstimate EstimateDataParallel(const model::ModelProfile& model,
+                                          const topo::Cluster& cluster,
+                                          long global_batch_size,
+                                          DataParallelVariant variant);
+
+/// The all-devices one-stage ParallelPlan used by the estimators above.
+ParallelPlan MakeDataParallelPlan(const model::ModelProfile& model,
+                                  const topo::Cluster& cluster);
+
+}  // namespace dapple::planner

@@ -1,0 +1,278 @@
+#include "planner/dp_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/thread_pool.h"
+#include "topo/assignment.h"
+
+namespace dapple::planner {
+
+namespace {
+
+/// Canonical allocation key. Identical servers are interchangeable, so on
+/// homogeneous clusters two allocations with the same sorted per-server
+/// used counts lead to equivalent futures; on heterogeneous clusters the
+/// server identity matters and the counts stay positional.
+std::string CanonicalKey(const topo::AllocationState& state) {
+  std::vector<int> counts;
+  counts.reserve(static_cast<std::size_t>(state.cluster().num_servers()));
+  for (int s = 0; s < state.cluster().num_servers(); ++s) {
+    counts.push_back(state.used_on_server(s));
+  }
+  if (state.cluster().homogeneous()) {
+    std::sort(counts.begin(), counts.end());
+  }
+  std::string key;
+  for (int c : counts) {
+    key += std::to_string(c);
+    key += ',';
+  }
+  return key;
+}
+
+struct SearchNode {
+  std::vector<StagePlan> prefix;  // stages covering layers [0, prefix_end)
+  topo::AllocationState state;
+  double tpl = 0.0;  // latency of prefix + default suffix (the paper's TPL)
+};
+
+}  // namespace
+
+DapplePlanner::DapplePlanner(const model::ModelProfile& model, const topo::Cluster& cluster,
+                             PlannerOptions options)
+    : model_(&model), cluster_(&cluster), options_(options) {
+  DAPPLE_CHECK_GT(options_.global_batch_size, 0) << "planner needs a global batch size";
+}
+
+PlanEstimate DapplePlanner::Evaluate(const ParallelPlan& plan) const {
+  LatencyEstimator estimator(*model_, *cluster_, options_.latency);
+  return estimator.Estimate(plan, options_.global_batch_size);
+}
+
+PlanResult DapplePlanner::Plan() const {
+  const int num_layers = model_->num_layers();
+  const int num_devices = cluster_->num_devices();
+  const int max_stages =
+      options_.max_stages > 0 ? options_.max_stages : num_devices;
+  DAPPLE_CHECK_GT(num_devices, 0);
+
+  LatencyEstimator estimator(*model_, *cluster_, options_.latency);
+
+  PlanResult best;
+  best.estimate.feasible = false;
+  best.estimate.latency = std::numeric_limits<TimeSec>::infinity();
+  // Track the best infeasible plan too so error messages are informative.
+  std::string last_infeasible;
+  long evaluated = 0;
+
+  // Top-k distinct feasible candidates for simulator re-ranking.
+  auto plan_signature = [](const ParallelPlan& p) {
+    std::string sig;
+    for (const StagePlan& s : p.stages) {
+      sig += std::to_string(s.layer_begin) + "-" + std::to_string(s.layer_end) + "@";
+      for (topo::DeviceId d : s.devices.devices()) sig += std::to_string(d) + ",";
+      sig += "|";
+    }
+    return sig;
+  };
+  auto record_candidate = [&](const ParallelPlan& plan, const PlanEstimate& est) {
+    if (options_.keep_alternatives <= 0) return;
+    const std::string sig = plan_signature(plan);
+    for (const auto& [p, e] : best.alternatives) {
+      (void)e;
+      if (plan_signature(p) == sig) return;
+    }
+    best.alternatives.emplace_back(plan, est);
+    std::sort(best.alternatives.begin(), best.alternatives.end(),
+              [](const auto& a, const auto& b) { return a.second.latency < b.second.latency; });
+    if (static_cast<int>(best.alternatives.size()) > options_.keep_alternatives) {
+      best.alternatives.resize(static_cast<std::size_t>(options_.keep_alternatives));
+    }
+  };
+
+  // Builds the complete plan for a prefix: remaining layers on all free
+  // devices. Pure (thread-safe); returns nullopt when no device is free.
+  auto build_completed = [&](const SearchNode& node,
+                             int prefix_end) -> std::optional<ParallelPlan> {
+    std::vector<topo::DeviceId> free;
+    for (topo::DeviceId d = 0; d < num_devices; ++d) {
+      if (!node.state.is_used(d)) free.push_back(d);
+    }
+    if (free.empty()) return std::nullopt;
+    ParallelPlan plan;
+    plan.model = model_->name();
+    plan.stages = node.prefix;
+    StagePlan last;
+    last.layer_begin = prefix_end;
+    last.layer_end = num_layers;
+    last.devices = topo::DeviceSet(std::move(free));
+    plan.stages.push_back(std::move(last));
+    return plan;
+  };
+
+  // Sequential merge of an evaluated candidate into the incumbent state.
+  auto merge = [&](const ParallelPlan& plan, const PlanEstimate& est) -> std::optional<double> {
+    ++evaluated;
+    if (!est.feasible) {
+      last_infeasible = est.infeasible_reason;
+      return std::nullopt;
+    }
+    record_candidate(plan, est);
+    if (est.latency < best.estimate.latency || !best.estimate.feasible) {
+      best.plan = plan;
+      best.estimate = est;
+    }
+    return est.latency;
+  };
+
+  auto complete = [&](const SearchNode& node, int prefix_end) -> std::optional<double> {
+    auto plan = build_completed(node, prefix_end);
+    if (!plan) return std::nullopt;
+    const PlanEstimate est = estimator.Estimate(*plan, options_.global_batch_size);
+    return merge(*plan, est);
+  };
+
+  // Level-by-level DP: frontier[j] holds the best node per canonical
+  // allocation key whose prefix covers layers [0, j).
+  std::vector<std::map<std::string, SearchNode>> frontier(
+      static_cast<std::size_t>(num_layers));
+  {
+    SearchNode root{{}, topo::AllocationState(*cluster_), 0.0};
+    auto tpl = complete(root, 0);
+    root.tpl = tpl.value_or(std::numeric_limits<double>::infinity());
+    frontier[0].emplace(CanonicalKey(root.state), std::move(root));
+  }
+
+  // One candidate expansion of a frontier node: carve stage [j, jp) onto
+  // `devices`, completing the rest with the default suffix.
+  struct Expansion {
+    SearchNode child;
+    int jp = 0;
+    std::optional<ParallelPlan> completed;
+    PlanEstimate estimate;
+  };
+
+  for (int j = 0; j < num_layers; ++j) {
+    // Phase 1 (sequential, cheap): enumerate this level's expansions.
+    std::vector<Expansion> expansions;
+    for (auto& [key, node] : frontier[static_cast<std::size_t>(j)]) {
+      (void)key;
+      if (static_cast<int>(node.prefix.size()) + 1 >= max_stages) continue;
+      // Nodes whose default-suffix completion was infeasible (tpl = inf)
+      // must stay expandable: splitting the suffix further may restore
+      // memory feasibility (this is exactly how AmoebaNet-36, which cannot
+      // run data-parallel, still gets planned).
+      if (options_.prune_slack > 0.0 && best.estimate.feasible &&
+          std::isfinite(node.tpl) &&
+          node.tpl > best.estimate.latency * options_.prune_slack) {
+        continue;
+      }
+      const int free_devices = node.state.num_free();
+      for (int m = 1; m < free_devices; ++m) {
+        // Distinct device sets for this size; on fresh or flat clusters the
+        // three policies frequently coincide.
+        std::vector<topo::DeviceSet> placements;
+        std::vector<topo::PlacementPolicy> placement_policies;
+        const std::vector<topo::PlacementPolicy>& policy_set =
+            options_.policies.empty() ? topo::AllPlacementPolicies() : options_.policies;
+        for (topo::PlacementPolicy policy : policy_set) {
+          auto devices = node.state.Plan(policy, m);
+          if (!devices) continue;
+          if (std::find(placements.begin(), placements.end(), *devices) !=
+              placements.end()) {
+            continue;
+          }
+          placements.push_back(std::move(*devices));
+          placement_policies.push_back(policy);
+        }
+        for (std::size_t p = 0; p < placements.size(); ++p) {
+          for (int jp = j + 1; jp < num_layers; ++jp) {
+            Expansion e{SearchNode{node.prefix, node.state, 0.0}, jp, std::nullopt, {}};
+            StagePlan stage;
+            stage.layer_begin = j;
+            stage.layer_end = jp;
+            stage.devices = placements[p];
+            stage.policy = placement_policies[p];
+            e.child.prefix.push_back(std::move(stage));
+            e.child.state.Commit(placements[p]);
+            e.completed = build_completed(e.child, jp);
+            expansions.push_back(std::move(e));
+          }
+        }
+      }
+    }
+
+    // Phase 2 (parallel, hot): evaluate every completed candidate. The
+    // estimator is pure, so evaluations are independent; results land in
+    // their own slots.
+    ThreadPool::Shared().ParallelFor(expansions.size(), [&](std::size_t i) {
+      Expansion& e = expansions[i];
+      if (e.completed) {
+        e.estimate = estimator.Estimate(*e.completed, options_.global_batch_size);
+      }
+    });
+
+    // Phase 3 (sequential, deterministic): merge in enumeration order —
+    // identical outcomes to the single-threaded search.
+    for (Expansion& e : expansions) {
+      std::optional<double> tpl;
+      if (e.completed) tpl = merge(*e.completed, e.estimate);
+      e.child.tpl = tpl.value_or(std::numeric_limits<double>::infinity());
+      const std::string child_key = CanonicalKey(e.child.state);
+      auto& level = frontier[static_cast<std::size_t>(e.jp)];
+      auto it = level.find(child_key);
+      if (it == level.end() || e.child.tpl < it->second.tpl) {
+        level.insert_or_assign(child_key, std::move(e.child));
+      }
+    }
+    // Free processed level early; the search only moves forward.
+    frontier[static_cast<std::size_t>(j)].clear();
+  }
+
+  best.candidates_evaluated = evaluated;
+
+  // Pin the pure data-parallel plan into the alternatives (appended past
+  // the top-k cut if necessary): it is the paper's universal baseline and
+  // the simulator re-ranking should always get to veto in its favour.
+  if (options_.keep_alternatives > 0 && best.estimate.feasible) {
+    ParallelPlan dp;
+    dp.model = model_->name();
+    StagePlan all;
+    all.layer_begin = 0;
+    all.layer_end = num_layers;
+    all.devices = topo::DeviceSet::Range(0, num_devices);
+    dp.stages.push_back(std::move(all));
+    const PlanEstimate dp_est = estimator.Estimate(dp, options_.global_batch_size);
+    if (dp_est.feasible) {
+      bool present = false;
+      for (const auto& [p, e] : best.alternatives) {
+        (void)e;
+        if (p.IsDataParallel()) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) best.alternatives.emplace_back(std::move(dp), dp_est);
+    }
+  }
+
+  if (!best.estimate.feasible) {
+    std::ostringstream os;
+    os << "no feasible plan for " << model_->name() << " on " << cluster_->name() << " ("
+       << num_devices << " devices)";
+    if (!last_infeasible.empty()) os << ": " << last_infeasible;
+    throw Error(os.str());
+  }
+  DAPPLE_LOG_INFO << "planned " << model_->name() << " on " << cluster_->name() << ": "
+                  << best.plan.ToString() << " (evaluated " << evaluated << " candidates)";
+  return best;
+}
+
+}  // namespace dapple::planner

@@ -1,0 +1,68 @@
+// The DAPPLE planner (paper §IV): dynamic programming over (partition
+// point, device allocation) states. A state TPL(j, state) means "the first
+// j layers are planned; the remaining layers form one stage on all free
+// devices". Transitions carve one more stage [j, j') placed by one of the
+// three topology-aware policies; states are memoized on (j, canonical
+// allocation key), where the canonical key exploits server symmetry
+// (identical machines are interchangeable). Every visited state is also a
+// complete candidate plan (prefix + default suffix), so pure data
+// parallelism (j = 0) and straight pipelines fall out of the same search.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "planner/latency.h"
+#include "planner/plan.h"
+
+namespace dapple::planner {
+
+struct PlannerOptions {
+  long global_batch_size = 0;
+  /// Cap on computation stages (0 = number of devices). Smaller caps speed
+  /// up the search; the paper's insight is that few stages win anyway.
+  int max_stages = 0;
+  /// Prune transitions whose prefix-TPL already exceeds the incumbent by
+  /// this factor. 0 disables pruning.
+  double prune_slack = 2.0;
+  /// Number of best distinct candidates to keep for downstream re-ranking
+  /// (the Session verifies the analytic top-k against the discrete-event
+  /// simulator, whose schedule is exact where formula 1 approximates).
+  int keep_alternatives = 8;
+  /// Ablation hook: restrict the device-placement search to a subset of
+  /// the three policies. Empty = all (the paper's full search space).
+  std::vector<topo::PlacementPolicy> policies;
+  LatencyOptions latency;
+};
+
+struct PlanResult {
+  ParallelPlan plan;
+  PlanEstimate estimate;
+  /// Number of complete candidate plans evaluated during the search.
+  long candidates_evaluated = 0;
+  /// Best distinct candidates by analytic latency, ascending (includes the
+  /// winner at index 0).
+  std::vector<std::pair<ParallelPlan, PlanEstimate>> alternatives;
+};
+
+class DapplePlanner {
+ public:
+  DapplePlanner(const model::ModelProfile& model, const topo::Cluster& cluster,
+                PlannerOptions options);
+
+  /// Runs the search and returns the best feasible plan. Throws when no
+  /// feasible plan exists (model cannot fit the cluster at all).
+  PlanResult Plan() const;
+
+  /// Evaluates a fully specified plan with this planner's latency options
+  /// (used to compare externally produced strategies, e.g. PipeDream's).
+  PlanEstimate Evaluate(const ParallelPlan& plan) const;
+
+ private:
+  const model::ModelProfile* model_;
+  const topo::Cluster* cluster_;
+  PlannerOptions options_;
+};
+
+}  // namespace dapple::planner

@@ -1,0 +1,139 @@
+// Analytic pipeline-latency estimator implementing the paper's optimization
+// objective (§IV-A):
+//
+//   Tw = sum_{s<=Q} F_s                      (warmup)
+//   Ts = (M-1) (F_Q + B_Q)                   (steady, pivot stage Q)
+//   Te = max_s ( AR(P_s, g_s) + tail(s) )    (ending + gradient sync)
+//   L  = Tw + Ts + Te
+//
+// with the pivot chosen by the formula-3 heuristic and cross-stage
+// communication modeled as its own pipeline stage (F_s = B_s = transfer
+// time, AR = 0), exactly as the paper prescribes.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "comm/cost_model.h"
+#include "model/profile.h"
+#include "planner/plan.h"
+#include "topo/cluster.h"
+
+namespace dapple::planner {
+
+/// One entry of the expanded stage list (computation and network stages
+/// interleaved: comp0, comm01, comp1, ...).
+struct StageCost {
+  bool is_comm = false;
+  /// Index into ParallelPlan::stages for computation stages, -1 for comm.
+  int comp_index = -1;
+  TimeSec forward = 0.0;    // F_s per micro-batch
+  TimeSec backward = 0.0;   // B_s per micro-batch
+  TimeSec allreduce = 0.0;  // AR(P_s, g_s); already overlap-reduced if enabled
+  TimeSec allreduce_raw = 0.0;  // AR before overlap
+};
+
+struct PlanEstimate {
+  bool feasible = true;
+  std::string infeasible_reason;
+
+  TimeSec latency = std::numeric_limits<TimeSec>::infinity();
+  TimeSec warmup = 0.0;
+  TimeSec steady = 0.0;
+  TimeSec ending = 0.0;
+  int pivot = -1;  // index into `stages`
+
+  /// Average comm-stage (F+B) over average computation-stage (F+B); the
+  /// paper's ACR column. 0 when the pipeline has no network stage.
+  double acr = 0.0;
+
+  int micro_batch_size = 0;
+  int num_micro_batches = 0;
+
+  /// Estimated worst per-device peak memory under the DAPPLE schedule.
+  Bytes max_peak_memory = 0;
+
+  std::vector<StageCost> stages;
+
+  /// Paper §VI-C speedup metric: single-device sequential time over L.
+  double speedup = 0.0;
+};
+
+struct LatencyOptions {
+  /// Overlap each stage's gradient AllReduce with its own backward compute
+  /// (reverse-layer bucketed model). The paper's runtime overlaps; the
+  /// "DP No Overlap" baseline disables this.
+  bool overlap_allreduce = true;
+  /// Fraction of the hideable gradient traffic that real frameworks
+  /// actually hide (bucketing granularity, kernel contention, aggregation
+  /// overhead keep overlap imperfect — Poseidon-style systems report
+  /// 40-70%). 1.0 = ideal overlap.
+  double overlap_efficiency = 0.5;
+  /// Enforce the per-device memory capacity (plans that do not fit are
+  /// marked infeasible, e.g. DP for AmoebaNet-36).
+  bool check_memory = true;
+  /// Re-computation (paper §II-A): stash only stage-boundary activations,
+  /// recompute the forward inside backward (+~20% backward-phase cost).
+  bool recompute = false;
+  /// Extra fraction of forward time charged to backward when recomputing.
+  double recompute_overhead = 0.75;
+};
+
+/// Micro-batching rule shared by the estimator and the runtime. The ideal
+/// micro-batch gives every replica of the widest stage the model's profile
+/// micro-batch (keeping per-replica slices efficient, §V-B2); the number of
+/// micro-batches is then the largest divisor of the global batch not
+/// exceeding gbs / ideal, so M * mbs always equals the global batch and
+/// plans are compared on identical work.
+struct MicroBatching {
+  int micro_batch_size = 0;
+  int num_micro_batches = 0;
+};
+MicroBatching ChooseMicroBatching(long global_batch_size, int profile_micro_batch,
+                                  int max_replication, int num_stages = 1);
+
+/// Bound to one (model, cluster); evaluates any plan at any global batch.
+class LatencyEstimator {
+ public:
+  LatencyEstimator(const model::ModelProfile& model, const topo::Cluster& cluster,
+                   LatencyOptions options = {});
+
+  const model::ModelProfile& model() const { return *model_; }
+  const topo::Cluster& cluster() const { return *cluster_; }
+  const LatencyOptions& options() const { return options_; }
+
+  /// Full estimate for a plan at a global batch size.
+  PlanEstimate Estimate(const ParallelPlan& plan, long global_batch_size) const;
+
+  /// Micro-batch size rule: each replica of the widest stage processes the
+  /// model's profile micro-batch, i.e. mbs = profile_mb * max_replication
+  /// clamped to the global batch.
+  int ChooseMicroBatchSize(const ParallelPlan& plan, long global_batch_size) const;
+
+  /// Time to run the whole global batch on one device sequentially
+  /// (denominator of the paper's speedup metric). Ignores memory limits.
+  TimeSec SingleDeviceTime(long global_batch_size) const;
+
+  /// Gradient-sync time for `devices` left exposed after overlapping with
+  /// the stage's own backward pass (reverse-layer order: grads of the last
+  /// layers are ready first). Returns the raw AllReduce when overlap is
+  /// disabled.
+  TimeSec ExposedAllReduce(int layer_begin, int layer_end, const topo::DeviceSet& devices,
+                           double samples) const;
+
+  /// Formula 3: picks the pivot stage for an expanded stage list.
+  static int ChoosePivot(const std::vector<StageCost>& stages, int num_micro_batches);
+
+ private:
+  /// Per-device peak memory of a stage under the DAPPLE schedule with
+  /// warmup depth K (activations of K micro-batches in flight).
+  Bytes StagePeakMemory(const StagePlan& stage, double samples, int warmup_depth) const;
+
+  const model::ModelProfile* model_;
+  const topo::Cluster* cluster_;
+  comm::CostModel cost_;
+  LatencyOptions options_;
+};
+
+}  // namespace dapple::planner

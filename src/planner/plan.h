@@ -1,0 +1,59 @@
+// Parallelization plan representation: an ordered list of pipeline stages,
+// each owning a contiguous layer range and a (possibly replicated) device
+// set. Data parallelism is the one-stage special case; a straight pipeline
+// is the all-stages-unreplicated special case — both exactly as the paper
+// treats them ("We treat DP and straight as special cases of general DAPPLE
+// plans", §VI-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/profile.h"
+#include "topo/assignment.h"
+#include "topo/device_set.h"
+
+namespace dapple::planner {
+
+/// One pipeline stage: layers [layer_begin, layer_end) replicated across
+/// `devices` (replica r processes 1/|devices| of each micro-batch).
+struct StagePlan {
+  int layer_begin = 0;
+  int layer_end = 0;
+  topo::DeviceSet devices;
+  /// Placement policy that produced the device set (reporting only).
+  topo::PlacementPolicy policy = topo::PlacementPolicy::kFreshFirst;
+
+  int num_layers() const { return layer_end - layer_begin; }
+  int replication() const { return devices.size(); }
+};
+
+struct ParallelPlan {
+  std::string model;
+  std::vector<StagePlan> stages;
+
+  int num_stages() const { return static_cast<int>(stages.size()); }
+  int num_devices() const;
+
+  /// Single stage covering the whole model => pure data parallelism.
+  bool IsDataParallel() const { return stages.size() == 1; }
+
+  /// Every stage on exactly one device (paper's "straight" plan).
+  bool IsStraight() const;
+
+  /// Validates stage contiguity/coverage against the model and device
+  /// disjointness; throws on violation.
+  void Validate(const model::ModelProfile& model_profile) const;
+
+  /// Paper Table V notation: "DP", "Straight", or "P : Q" replica counts.
+  std::string ToString() const;
+
+  /// Paper Table V "Split Position" notation: layer counts per stage,
+  /// e.g. "9 : 7"; "-" for DP.
+  std::string SplitString() const;
+
+  /// Paper Table VII notation: "(begin, end) @ [Gi - Gj]" lines.
+  std::string ToDetailedString() const;
+};
+
+}  // namespace dapple::planner

@@ -1,0 +1,84 @@
+#include "planner/plan_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dapple::planner {
+
+std::string SerializePlan(const ParallelPlan& plan) {
+  std::ostringstream os;
+  os << "model: " << plan.model << "\n";
+  for (const StagePlan& s : plan.stages) {
+    os << "stage: layers " << s.layer_begin << " " << s.layer_end << " devices";
+    for (topo::DeviceId d : s.devices.devices()) os << " " << d;
+    os << "\n";
+  }
+  return os.str();
+}
+
+ParallelPlan ParsePlan(const std::string& text) {
+  ParallelPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  bool saw_model = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head)) continue;
+
+    if (head == "model:") {
+      std::string rest;
+      std::getline(ls, rest);
+      const std::size_t start = rest.find_first_not_of(' ');
+      DAPPLE_CHECK(start != std::string::npos)
+          << "line " << line_number << ": empty model name";
+      plan.model = rest.substr(start);
+      saw_model = true;
+    } else if (head == "stage:") {
+      std::string kw;
+      StagePlan stage;
+      DAPPLE_CHECK(static_cast<bool>(ls >> kw) && kw == "layers")
+          << "line " << line_number << ": expected 'layers'";
+      DAPPLE_CHECK(static_cast<bool>(ls >> stage.layer_begin >> stage.layer_end))
+          << "line " << line_number << ": expected two layer indices";
+      DAPPLE_CHECK(static_cast<bool>(ls >> kw) && kw == "devices")
+          << "line " << line_number << ": expected 'devices'";
+      std::vector<topo::DeviceId> devices;
+      topo::DeviceId d;
+      while (ls >> d) devices.push_back(d);
+      DAPPLE_CHECK(!devices.empty()) << "line " << line_number << ": stage needs devices";
+      stage.devices = topo::DeviceSet(std::move(devices));
+      plan.stages.push_back(std::move(stage));
+    } else {
+      throw Error("plan parse error at line " + std::to_string(line_number) +
+                  ": unknown directive '" + head + "'");
+    }
+  }
+  DAPPLE_CHECK(saw_model) << "plan text has no 'model:' line";
+  DAPPLE_CHECK(!plan.stages.empty()) << "plan text has no stages";
+  return plan;
+}
+
+void SavePlan(const std::string& path, const ParallelPlan& plan) {
+  std::ofstream out(path);
+  DAPPLE_CHECK(out.good()) << "cannot open plan file " << path;
+  out << SerializePlan(plan);
+  DAPPLE_CHECK(out.good()) << "failed writing plan file " << path;
+}
+
+ParallelPlan LoadPlan(const std::string& path) {
+  std::ifstream in(path);
+  DAPPLE_CHECK(in.good()) << "cannot read plan file " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParsePlan(buffer.str());
+}
+
+}  // namespace dapple::planner

@@ -1,0 +1,28 @@
+// Plan serialization: a stable, human-readable text format so plans can be
+// produced offline (the paper's planner is an offline step, Fig. 1) and
+// shipped to the runtime, versioned, or diffed in code review.
+//
+// Format (one stage per line, '#' comments allowed):
+//   model: BERT-48
+//   stage: layers 0 24 devices 0 1 2 3 4 5 6 7
+//   stage: layers 24 48 devices 8 9 10 11 12 13 14 15
+#pragma once
+
+#include <string>
+
+#include "planner/plan.h"
+
+namespace dapple::planner {
+
+/// Serializes a plan; the result round-trips through ParsePlan.
+std::string SerializePlan(const ParallelPlan& plan);
+
+/// Parses the SerializePlan format; throws dapple::Error with a line
+/// number on malformed input.
+ParallelPlan ParsePlan(const std::string& text);
+
+/// File helpers.
+void SavePlan(const std::string& path, const ParallelPlan& plan);
+ParallelPlan LoadPlan(const std::string& path);
+
+}  // namespace dapple::planner

@@ -1,0 +1,82 @@
+#include "planner/torchgpipe_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dapple::planner {
+
+TorchGpipePlanner::TorchGpipePlanner(const model::ModelProfile& model,
+                                     const topo::Cluster& cluster)
+    : model_(&model), cluster_(&cluster) {}
+
+ParallelPlan TorchGpipePlanner::Plan(int stages) const {
+  const int n = model_->num_layers();
+  if (stages <= 0) stages = cluster_->num_devices();
+  DAPPLE_CHECK_LE(stages, cluster_->num_devices())
+      << "torchgpipe needs one device per stage";
+  stages = std::min(stages, n);
+
+  const double mb = model_->profile_micro_batch();
+  // dp[j][s]: minimal max-block cost partitioning layers [0, j) into s
+  // blocks (classic contiguous min-max partition DP).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(
+      static_cast<std::size_t>(n + 1),
+      std::vector<double>(static_cast<std::size_t>(stages + 1), kInf));
+  std::vector<std::vector<int>> split(
+      static_cast<std::size_t>(n + 1),
+      std::vector<int>(static_cast<std::size_t>(stages + 1), -1));
+  auto block_cost = [&](int a, int b) {
+    return model_->ForwardTime(a, b, mb) + model_->BackwardTime(a, b, mb);
+  };
+  dp[0][0] = 0.0;
+  for (int j = 1; j <= n; ++j) {
+    for (int s = 1; s <= std::min(j, stages); ++s) {
+      for (int k = s - 1; k < j; ++k) {
+        const double prev = dp[static_cast<std::size_t>(k)][static_cast<std::size_t>(s - 1)];
+        if (prev == kInf) continue;
+        const double value = std::max(prev, block_cost(k, j));
+        if (value < dp[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)]) {
+          dp[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] = value;
+          split[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)] = k;
+        }
+      }
+    }
+  }
+
+  std::vector<int> bounds = {n};
+  int j = n;
+  for (int s = stages; s > 0; --s) {
+    j = split[static_cast<std::size_t>(j)][static_cast<std::size_t>(s)];
+    DAPPLE_CHECK_GE(j, 0) << "corrupt torchgpipe DP";
+    bounds.push_back(j);
+  }
+  std::reverse(bounds.begin(), bounds.end());
+
+  ParallelPlan plan;
+  plan.model = model_->name();
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    StagePlan stage;
+    stage.layer_begin = bounds[i];
+    stage.layer_end = bounds[i + 1];
+    stage.devices = topo::DeviceSet::Range(static_cast<int>(i), 1);
+    plan.stages.push_back(std::move(stage));
+  }
+  plan.Validate(*model_);
+  return plan;
+}
+
+double TorchGpipePlanner::Bottleneck(const ParallelPlan& plan) const {
+  const double mb = model_->profile_micro_batch();
+  double worst = 0.0;
+  for (const StagePlan& s : plan.stages) {
+    worst = std::max(worst, model_->ForwardTime(s.layer_begin, s.layer_end, mb) +
+                                model_->BackwardTime(s.layer_begin, s.layer_end, mb));
+  }
+  return worst;
+}
+
+}  // namespace dapple::planner

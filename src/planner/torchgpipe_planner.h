@@ -1,0 +1,30 @@
+// torchgpipe's partitioner (paper §IV-D): "Block Partitions of Sequences"
+// (Barany & Grinberg) — balance the per-layer compute times into S
+// contiguous blocks minimizing the largest block, one device per stage, no
+// replication. This is the community GPipe baseline the paper contrasts
+// DAPPLE's uneven/fewer-stage preference against.
+#pragma once
+
+#include "planner/plan.h"
+#include "topo/cluster.h"
+
+namespace dapple::planner {
+
+class TorchGpipePlanner {
+ public:
+  TorchGpipePlanner(const model::ModelProfile& model, const topo::Cluster& cluster);
+
+  /// Partitions into exactly `stages` blocks (defaults to the device
+  /// count) assigned to devices 0..stages-1 in order.
+  ParallelPlan Plan(int stages = 0) const;
+
+  /// The min-max objective value of a partition: the largest block's
+  /// forward+backward time at the profile micro-batch.
+  double Bottleneck(const ParallelPlan& plan) const;
+
+ private:
+  const model::ModelProfile* model_;
+  const topo::Cluster* cluster_;
+};
+
+}  // namespace dapple::planner

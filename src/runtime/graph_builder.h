@@ -1,0 +1,72 @@
+// Transforms a (model, plan, schedule) triple into a simulator task graph —
+// the analogue of the paper's §V runtime, which rewrites the TF graph into
+// per-stage forward/backward subgraphs connected by split/concat transfers
+// and ordered by control dependencies (Fig. 11).
+//
+// Task graph shape, per computation stage i with replica set g_i:
+//   FW(i, m, d) / BW(i, m, d) on each replica device d, per micro-batch m;
+//   TX_f(i, m): all FW(i,m,*) -> transfer -> all FW(i+1,m,*);
+//   TX_b(i, m): all BW(i+1,m,*) -> transfer -> all BW(i,m,*);
+//   AR(i): all BW(i,*,*) -> AllReduce over g_i (when |g_i| > 1);
+//   APPLY(i, d): weight update per device, after AR(i) (or local BWs).
+// Control edges chain each device's FW/BW order per runtime/schedule.h.
+#pragma once
+
+#include "model/profile.h"
+#include "planner/plan.h"
+#include "runtime/schedule.h"
+#include "sim/engine.h"
+#include "sim/graph.h"
+#include "topo/cluster.h"
+
+namespace dapple::runtime {
+
+/// How a replicated stage consumes micro-batches (paper Fig. 8).
+enum class ReplicationMode {
+  /// Split every micro-batch into |g| slices, one per replica (DAPPLE).
+  kSplitMicroBatch,
+  /// Round-robin whole micro-batches over replicas (the alternative with
+  /// the tail effect).
+  kRoundRobin,
+};
+
+const char* ToString(ReplicationMode mode);
+
+struct BuildOptions {
+  long global_batch_size = 0;
+  /// 0 = auto: profile micro-batch times the widest stage's replication.
+  int micro_batch_size = 0;
+  ScheduleOptions schedule;
+  ReplicationMode replication = ReplicationMode::kSplitMicroBatch;
+  /// Give device pools the cluster's memory capacity so OOM is observable.
+  bool enforce_memory_capacity = true;
+  /// Overlap gradient AllReduce with the final backward pass (bucketed,
+  /// reverse-layer order). Matches the latency estimator's model.
+  bool overlap_allreduce = true;
+};
+
+struct BuiltPipeline {
+  sim::TaskGraph graph;
+  sim::EngineOptions engine_options;
+  int micro_batch_size = 0;
+  int num_micro_batches = 0;
+  int num_devices = 0;
+  /// Per computation stage: the warmup depth the schedule actually used.
+  std::vector<int> warmup_depths;
+};
+
+class GraphBuilder {
+ public:
+  GraphBuilder(const model::ModelProfile& model, const topo::Cluster& cluster,
+               const planner::ParallelPlan& plan, BuildOptions options);
+
+  BuiltPipeline Build() const;
+
+ private:
+  const model::ModelProfile* model_;
+  const topo::Cluster* cluster_;
+  const planner::ParallelPlan* plan_;
+  BuildOptions options_;
+};
+
+}  // namespace dapple::runtime

@@ -1,0 +1,79 @@
+#include "runtime/schedule.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dapple::runtime {
+
+const char* ToString(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kDapple: return "DAPPLE";
+    case ScheduleKind::kGPipe: return "GPipe";
+  }
+  return "?";
+}
+
+const char* ToString(WarmupPolicy policy) {
+  switch (policy) {
+    case WarmupPolicy::kPA: return "PA";
+    case WarmupPolicy::kPB: return "PB";
+  }
+  return "?";
+}
+
+int WarmupDepth(const ScheduleOptions& options, int stage_index, int num_stages,
+                int num_micro_batches, int memory_limit) {
+  DAPPLE_CHECK(stage_index >= 0 && stage_index < num_stages)
+      << "stage " << stage_index << " of " << num_stages;
+  DAPPLE_CHECK_GT(num_micro_batches, 0);
+  if (options.kind == ScheduleKind::kGPipe) {
+    // GPipe has no early backward: all M forwards are in flight.
+    return num_micro_batches;
+  }
+  int k = 0;
+  if (options.warmup_override > 0) {
+    k = options.warmup_override;
+    if (memory_limit > 0) k = std::min(k, memory_limit);
+    return std::max(1, std::min(k, num_micro_batches));
+  }
+  switch (options.warmup) {
+    case WarmupPolicy::kPA:
+      k = num_stages - stage_index;
+      break;
+    case WarmupPolicy::kPB:
+      k = 2 * (num_stages - stage_index) - 1;
+      break;
+  }
+  if (memory_limit > 0) k = std::min(k, memory_limit);
+  k = std::min(k, num_micro_batches);
+  return std::max(k, 1);
+}
+
+std::vector<ScheduleStep> StageOrder(const ScheduleOptions& options, int stage_index,
+                                     int num_stages, int num_micro_batches,
+                                     int memory_limit) {
+  const int m = num_micro_batches;
+  std::vector<ScheduleStep> order;
+  order.reserve(static_cast<std::size_t>(2 * m));
+
+  if (options.kind == ScheduleKind::kGPipe) {
+    for (int i = 0; i < m; ++i) order.push_back({false, i});
+    for (int i = m - 1; i >= 0; --i) order.push_back({true, i});
+    return order;
+  }
+
+  const int k = WarmupDepth(options, stage_index, num_stages, m, memory_limit);
+  // Warmup: K forwards.
+  for (int i = 0; i < std::min(k, m); ++i) order.push_back({false, i});
+  // Steady: strict one-backward-one-forward round robin.
+  int next_fw = k;
+  int next_bw = 0;
+  while (next_bw < m) {
+    order.push_back({true, next_bw++});
+    if (next_fw < m) order.push_back({false, next_fw++});
+  }
+  return order;
+}
+
+}  // namespace dapple::runtime

@@ -1,0 +1,60 @@
+// Micro-batch scheduling (paper §III, §V-C). Two schedules:
+//
+//   GPipe  — inject all M micro-batches' forwards, then run backwards;
+//            activation memory grows O(M).
+//   DAPPLE — early backward scheduling: inject K_i forwards at stage i,
+//            then strictly interleave one-forward-one-backward so each
+//            micro-batch's activations are freed as soon as possible; peak
+//            memory is O(K_i), independent of M.
+//
+// Warmup depth policies (§V-C): PA: K_i = min(S-i, D);
+// PB: K_i = min(2(S-i)-1, D), where D is the memory-supported in-flight
+// count. Both schedules are expressed as a per-device total order of
+// FW/BW tasks, realized in the task graph with control edges — the same
+// mechanism (TF control dependencies) the paper's runtime uses.
+#pragma once
+
+#include <vector>
+
+namespace dapple::runtime {
+
+enum class ScheduleKind { kDapple, kGPipe };
+enum class WarmupPolicy { kPA, kPB };
+
+const char* ToString(ScheduleKind kind);
+const char* ToString(WarmupPolicy policy);
+
+struct ScheduleOptions {
+  ScheduleKind kind = ScheduleKind::kDapple;
+  WarmupPolicy warmup = WarmupPolicy::kPA;
+  /// Re-computation: stash only stage-boundary activations, replay the
+  /// forward inside backward.
+  bool recompute = false;
+  /// Extra backward cost as a fraction of forward time when recomputing.
+  double recompute_overhead = 0.75;
+  /// Ablation hook: force the warmup depth K for every stage (still
+  /// clamped by M and the memory limit). 0 = use the policy formulas.
+  int warmup_override = 0;
+};
+
+/// One step of a device's execution order.
+struct ScheduleStep {
+  bool is_backward = false;
+  int microbatch = 0;
+};
+
+/// Warmup depth K_i for stage i of S stages (paper policies PA/PB),
+/// clamped by the memory-supported in-flight count `memory_limit`
+/// (0 = unlimited) and by M. GPipe's "warmup" is all of M.
+int WarmupDepth(const ScheduleOptions& options, int stage_index, int num_stages,
+                int num_micro_batches, int memory_limit);
+
+/// The per-device total order of forward/backward steps for stage i.
+/// DAPPLE: F0..F_{K-1}, B0, F_K, B1, F_{K+1}, ..., trailing backwards.
+/// GPipe:  F0..F_{M-1}, B_{M-1}..B0 (reverse-order backward, LIFO in
+/// activation stack order, per Fig. 3(a)).
+std::vector<ScheduleStep> StageOrder(const ScheduleOptions& options, int stage_index,
+                                     int num_stages, int num_micro_batches,
+                                     int memory_limit);
+
+}  // namespace dapple::runtime

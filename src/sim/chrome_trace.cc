@@ -1,0 +1,90 @@
+#include "sim/chrome_trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dapple::sim {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToChromeTrace(const TaskGraph& graph, const SimResult& result,
+                          ChromeTraceOptions options) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << event;
+  };
+
+  // Process / thread metadata: one "thread" per resource.
+  {
+    std::ostringstream m;
+    m << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\""
+      << JsonEscape(options.process_name) << "\"}}";
+    emit(m.str());
+  }
+  for (int r = 0; r < std::max(graph.num_resources(), 1); ++r) {
+    std::ostringstream m;
+    m << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << r
+      << ",\"name\":\"thread_name\",\"args\":{\"name\":\"resource " << r << "\"}}";
+    emit(m.str());
+  }
+
+  // Complete ("X") events for every executed task.
+  for (const TaskRecord& rec : result.records) {
+    if (!rec.executed || rec.id == kInvalidTask) continue;
+    const Task& task = graph.task(rec.id);
+    std::ostringstream e;
+    e << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << task.resource << ",\"name\":\""
+      << JsonEscape(task.name) << "\",\"cat\":\"" << ToString(task.kind)
+      << "\",\"ts\":" << rec.start * 1e6 << ",\"dur\":" << (rec.end - rec.start) * 1e6
+      << ",\"args\":{\"stage\":" << task.stage << ",\"microbatch\":" << task.microbatch
+      << "}}";
+    emit(e.str());
+  }
+
+  // Memory counter events per pool.
+  if (options.include_memory_counters) {
+    for (std::size_t p = 0; p < result.pools.size(); ++p) {
+      for (const MemorySample& sample : result.pools[p].timeline()) {
+        std::ostringstream e;
+        e << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"pool " << p
+          << " bytes\",\"ts\":" << sample.time * 1e6 << ",\"args\":{\"resident\":"
+          << sample.bytes << "}}";
+        emit(e.str());
+      }
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void WriteChromeTrace(const std::string& path, const TaskGraph& graph,
+                      const SimResult& result, ChromeTraceOptions options) {
+  std::ofstream out(path);
+  DAPPLE_CHECK(out.good()) << "cannot open trace file " << path;
+  out << ToChromeTrace(graph, result, std::move(options));
+  DAPPLE_CHECK(out.good()) << "failed writing trace file " << path;
+}
+
+}  // namespace dapple::sim

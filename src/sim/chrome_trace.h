@@ -1,0 +1,32 @@
+// Chrome trace-event export: serializes a simulation into the JSON format
+// understood by chrome://tracing and Perfetto, with one row per resource
+// (device compute engines, transfer channels, AllReduce lanes). The
+// release-grade way to inspect schedules beyond the ASCII Gantt.
+#pragma once
+
+#include <string>
+
+#include "sim/engine.h"
+#include "sim/graph.h"
+
+namespace dapple::sim {
+
+struct ChromeTraceOptions {
+  /// Process name shown in the trace viewer.
+  std::string process_name = "dapple-sim";
+  /// Include per-pool memory counter events ("C" phase).
+  bool include_memory_counters = true;
+};
+
+/// Renders the executed graph as a Chrome trace JSON document (the
+/// "traceEvents" array format). Durations are emitted in microseconds of
+/// simulated time.
+std::string ToChromeTrace(const TaskGraph& graph, const SimResult& result,
+                          ChromeTraceOptions options = {});
+
+/// Convenience: writes the trace to a file; throws dapple::Error on I/O
+/// failure.
+void WriteChromeTrace(const std::string& path, const TaskGraph& graph,
+                      const SimResult& result, ChromeTraceOptions options = {});
+
+}  // namespace dapple::sim

@@ -1,0 +1,170 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dapple::sim {
+
+double SimResult::Utilization(ResourceId r) const {
+  if (makespan <= 0.0) return 0.0;
+  return resources.at(static_cast<std::size_t>(r)).busy / makespan;
+}
+
+double SimResult::ComputeUtilization(ResourceId r) const {
+  if (makespan <= 0.0) return 0.0;
+  return resources.at(static_cast<std::size_t>(r)).compute_busy / makespan;
+}
+
+Bytes SimResult::MaxPeakMemory() const {
+  Bytes peak = 0;
+  for (const MemoryPool& p : pools) peak = std::max(peak, p.peak());
+  return peak;
+}
+
+bool SimResult::AnyOom() const {
+  return std::any_of(pools.begin(), pools.end(),
+                     [](const MemoryPool& p) { return p.oom(); });
+}
+
+namespace {
+
+struct Completion {
+  TimeSec time;
+  TaskId task;
+  bool operator>(const Completion& other) const {
+    if (time != other.time) return time > other.time;
+    return task > other.task;
+  }
+};
+
+/// Ready-queue ordering: (priority, id) ascending.
+struct ReadyOrder {
+  const TaskGraph* graph;
+  bool operator()(TaskId a, TaskId b) const {
+    const Task& ta = graph->task(a);
+    const Task& tb = graph->task(b);
+    if (ta.priority != tb.priority) return ta.priority < tb.priority;
+    return a < b;
+  }
+};
+
+}  // namespace
+
+SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
+  const int n = graph.num_tasks();
+  const int num_resources = std::max(graph.num_resources(), 1);
+  const int num_pools = std::max(
+      graph.num_pools(), static_cast<int>(std::max(options.pool_capacities.size(),
+                                                   options.pool_baselines.size())));
+
+  SimResult result;
+  result.records.resize(static_cast<std::size_t>(n));
+  result.resources.resize(static_cast<std::size_t>(num_resources));
+  result.pools.reserve(static_cast<std::size_t>(num_pools));
+  for (int p = 0; p < num_pools; ++p) {
+    const Bytes cap = static_cast<std::size_t>(p) < options.pool_capacities.size()
+                          ? options.pool_capacities[static_cast<std::size_t>(p)]
+                          : 0;
+    result.pools.emplace_back(cap);
+    if (static_cast<std::size_t>(p) < options.pool_baselines.size()) {
+      result.pools.back().SetBaseline(options.pool_baselines[static_cast<std::size_t>(p)]);
+    }
+  }
+
+  std::vector<int> pending(static_cast<std::size_t>(n));
+  for (TaskId t = 0; t < n; ++t) pending[static_cast<std::size_t>(t)] = graph.in_degree(t);
+
+  // Per-resource ready sets and busy flags.
+  std::vector<std::set<TaskId, ReadyOrder>> ready(
+      static_cast<std::size_t>(num_resources), std::set<TaskId, ReadyOrder>(ReadyOrder{&graph}));
+  std::vector<TaskId> running(static_cast<std::size_t>(num_resources), kInvalidTask);
+
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions;
+  int executed = 0;
+  TimeSec now = 0.0;
+
+  auto start_task = [&](TaskId id) {
+    const Task& task = graph.task(id);
+    running[static_cast<std::size_t>(task.resource)] = id;
+    auto& rec = result.records[static_cast<std::size_t>(id)];
+    rec.id = id;
+    rec.start = now;
+    rec.end = now + task.duration;
+    rec.executed = true;
+    if (task.pool >= 0 && task.alloc_at_start > 0) {
+      result.pools[static_cast<std::size_t>(task.pool)].Allocate(now, task.alloc_at_start);
+    }
+    completions.push({rec.end, id});
+  };
+
+  auto dispatch_resource = [&](ResourceId r) {
+    auto& queue = ready[static_cast<std::size_t>(r)];
+    if (running[static_cast<std::size_t>(r)] != kInvalidTask || queue.empty()) return;
+    const TaskId next = *queue.begin();
+    queue.erase(queue.begin());
+    start_task(next);
+  };
+
+  // Seed with all zero-indegree tasks.
+  for (TaskId t = 0; t < n; ++t) {
+    if (pending[static_cast<std::size_t>(t)] == 0) {
+      ready[static_cast<std::size_t>(graph.task(t).resource)].insert(t);
+    }
+  }
+  for (ResourceId r = 0; r < num_resources; ++r) dispatch_resource(r);
+
+  while (!completions.empty()) {
+    const Completion done = completions.top();
+    completions.pop();
+    now = done.time;
+    const Task& task = graph.task(done.task);
+
+    ++executed;
+    auto& usage = result.resources[static_cast<std::size_t>(task.resource)];
+    if (usage.tasks_executed == 0) {
+      usage.first_start = result.records[static_cast<std::size_t>(done.task)].start;
+    }
+    usage.busy += task.duration;
+    if (IsComputeKind(task.kind)) usage.compute_busy += task.duration;
+    usage.last_end = now;
+    usage.tasks_executed++;
+    result.makespan = std::max(result.makespan, now);
+
+    if (task.pool >= 0 && task.free_at_end > 0) {
+      result.pools[static_cast<std::size_t>(task.pool)].Free(now, task.free_at_end);
+    }
+
+    running[static_cast<std::size_t>(task.resource)] = kInvalidTask;
+
+    for (TaskId succ : graph.successors(done.task)) {
+      if (--pending[static_cast<std::size_t>(succ)] == 0) {
+        ready[static_cast<std::size_t>(graph.task(succ).resource)].insert(succ);
+      }
+    }
+    // The freed resource plus any resource that gained ready work may start
+    // something; only those two categories can change, and dispatching is
+    // idempotent, so sweep all resources (num_resources is small).
+    for (ResourceId r = 0; r < num_resources; ++r) dispatch_resource(r);
+  }
+
+  if (executed != n) {
+    std::ostringstream os;
+    os << "task graph deadlock: executed " << executed << " of " << n
+       << " tasks; first blocked:";
+    int listed = 0;
+    for (TaskId t = 0; t < n && listed < 5; ++t) {
+      if (!result.records[static_cast<std::size_t>(t)].executed) {
+        os << " '" << graph.task(t).name << "'";
+        ++listed;
+      }
+    }
+    throw Error(os.str());
+  }
+  return result;
+}
+
+}  // namespace dapple::sim

@@ -1,0 +1,30 @@
+#include "sim/task.h"
+
+namespace dapple::sim {
+
+const char* ToString(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kForward: return "FW";
+    case TaskKind::kBackward: return "BW";
+    case TaskKind::kRecompute: return "RC";
+    case TaskKind::kTransfer: return "TX";
+    case TaskKind::kAllReduce: return "AR";
+    case TaskKind::kApply: return "AP";
+    case TaskKind::kGeneric: return "..";
+  }
+  return "?";
+}
+
+bool IsComputeKind(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kForward:
+    case TaskKind::kBackward:
+    case TaskKind::kRecompute:
+    case TaskKind::kApply:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace dapple::sim

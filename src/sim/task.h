@@ -1,0 +1,62 @@
+// Task model for the discrete-event simulator. A task is a unit of work
+// bound to one execution resource (a device's compute engine or a network
+// channel), with a fixed duration, dependency edges, and memory effects on a
+// device memory pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace dapple::sim {
+
+using TaskId = int;
+using ResourceId = int;
+using PoolId = int;
+
+inline constexpr TaskId kInvalidTask = -1;
+
+/// Semantic category of a task; used for reporting (bubble accounting
+/// considers compute kinds only) and trace rendering.
+enum class TaskKind {
+  kForward,
+  kBackward,
+  kRecompute,
+  kTransfer,   // cross-stage activation / gradient movement
+  kAllReduce,  // gradient synchronization across replicas
+  kApply,      // optimizer weight update
+  kGeneric,
+};
+
+const char* ToString(TaskKind kind);
+
+/// True for kinds that occupy a device's compute engine (vs. the network).
+bool IsComputeKind(TaskKind kind);
+
+struct Task {
+  TaskId id = kInvalidTask;
+  std::string name;
+  TaskKind kind = TaskKind::kGeneric;
+  ResourceId resource = 0;
+  TimeSec duration = 0.0;
+
+  /// Memory pool affected by this task; -1 for none.
+  PoolId pool = -1;
+  /// Bytes allocated in `pool` at task start (activation stash for FW).
+  Bytes alloc_at_start = 0;
+  /// Bytes released from `pool` at task end (BW freeing its FW's stash).
+  Bytes free_at_end = 0;
+
+  /// Tie-break among simultaneously-ready tasks on one resource; lower runs
+  /// first. Schedules (GPipe vs DAPPLE) are expressed with control edges
+  /// plus priorities.
+  int priority = 0;
+
+  // Reporting metadata (not interpreted by the engine).
+  int stage = -1;
+  int microbatch = -1;
+  int device = -1;
+};
+
+}  // namespace dapple::sim

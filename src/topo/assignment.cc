@@ -1,0 +1,173 @@
+#include "topo/assignment.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace dapple::topo {
+
+const std::vector<PlacementPolicy>& AllPlacementPolicies() {
+  static const std::vector<PlacementPolicy> kAll = {
+      PlacementPolicy::kFreshFirst, PlacementPolicy::kAppendFirst,
+      PlacementPolicy::kScatterFirst};
+  return kAll;
+}
+
+std::string ToString(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFreshFirst: return "FreshFirst";
+    case PlacementPolicy::kAppendFirst: return "AppendFirst";
+    case PlacementPolicy::kScatterFirst: return "ScatterFirst";
+  }
+  return "?";
+}
+
+AllocationState::AllocationState(const Cluster& cluster)
+    : cluster_(&cluster),
+      used_(static_cast<std::size_t>(cluster.num_devices()), false),
+      used_per_server_(static_cast<std::size_t>(cluster.num_servers()), 0),
+      num_free_(cluster.num_devices()) {}
+
+int AllocationState::used_on_server(ServerId s) const {
+  return used_per_server_.at(static_cast<std::size_t>(s));
+}
+
+bool AllocationState::is_used(DeviceId d) const {
+  return used_.at(static_cast<std::size_t>(d));
+}
+
+std::vector<DeviceId> AllocationState::FreeDevicesOnServer(ServerId s) const {
+  std::vector<DeviceId> free;
+  const int per = cluster_->gpus_per_server();
+  for (int i = 0; i < per; ++i) {
+    const DeviceId d = s * per + i;
+    if (!used_[static_cast<std::size_t>(d)]) free.push_back(d);
+  }
+  return free;
+}
+
+std::optional<DeviceSet> AllocationState::Plan(PlacementPolicy policy, int n) const {
+  DAPPLE_CHECK_GT(n, 0) << "allocation size";
+  if (n > num_free_) return std::nullopt;
+
+  const int servers = cluster_->num_servers();
+  const int per = cluster_->gpus_per_server();
+
+  // Server visit order depends on the policy.
+  std::vector<ServerId> order(static_cast<std::size_t>(servers));
+  std::iota(order.begin(), order.end(), 0);
+
+  auto free_on = [&](ServerId s) { return per - used_on_server(s); };
+  auto is_fresh = [&](ServerId s) { return used_on_server(s) == 0; };
+  auto is_partial = [&](ServerId s) { return used_on_server(s) > 0 && free_on(s) > 0; };
+
+  std::vector<DeviceId> picked;
+  picked.reserve(static_cast<std::size_t>(n));
+
+  switch (policy) {
+    case PlacementPolicy::kFreshFirst: {
+      // Fill fresh machines first (whole machines), preferring faster
+      // servers on heterogeneous clusters, then fall back to partially
+      // used ones.
+      std::stable_sort(order.begin(), order.end(), [&](ServerId a, ServerId b) {
+        if (is_fresh(a) != is_fresh(b)) return is_fresh(a) > is_fresh(b);
+        return cluster_->server_speed(a) > cluster_->server_speed(b);
+      });
+      for (ServerId s : order) {
+        for (DeviceId d : FreeDevicesOnServer(s)) {
+          if (static_cast<int>(picked.size()) == n) break;
+          picked.push_back(d);
+        }
+        if (static_cast<int>(picked.size()) == n) break;
+      }
+      break;
+    }
+    case PlacementPolicy::kAppendFirst: {
+      // Prefer machines with the fewest free GPUs (most occupied first) so
+      // fragments get consumed before fresh machines are touched.
+      std::stable_sort(order.begin(), order.end(), [&](ServerId a, ServerId b) {
+        const bool pa = is_partial(a);
+        const bool pb = is_partial(b);
+        if (pa != pb) return pa > pb;
+        if (pa && pb) return free_on(a) < free_on(b);
+        return false;
+      });
+      for (ServerId s : order) {
+        for (DeviceId d : FreeDevicesOnServer(s)) {
+          if (static_cast<int>(picked.size()) == n) break;
+          picked.push_back(d);
+        }
+        if (static_cast<int>(picked.size()) == n) break;
+      }
+      break;
+    }
+    case PlacementPolicy::kScatterFirst: {
+      // Round-robin one GPU at a time. If some machines are already in use,
+      // scatter across those first; otherwise scatter across all machines.
+      std::vector<ServerId> pool;
+      int pool_free = 0;
+      for (ServerId s : order) {
+        if (is_partial(s)) {
+          pool.push_back(s);
+          pool_free += free_on(s);
+        }
+      }
+      // Use only partially-used machines when they can satisfy the request;
+      // otherwise extend with fresh machines (and scatter across all
+      // machines when everything is fresh).
+      if (pool.empty() || pool_free < n) {
+        for (ServerId s : order) {
+          if (!is_partial(s) && free_on(s) > 0) pool.push_back(s);
+        }
+      }
+      std::vector<std::vector<DeviceId>> free_lists;
+      free_lists.reserve(pool.size());
+      for (ServerId s : pool) free_lists.push_back(FreeDevicesOnServer(s));
+      std::size_t round = 0;
+      while (static_cast<int>(picked.size()) < n) {
+        bool progressed = false;
+        for (auto& list : free_lists) {
+          if (round < list.size()) {
+            picked.push_back(list[round]);
+            progressed = true;
+            if (static_cast<int>(picked.size()) == n) break;
+          }
+        }
+        if (static_cast<int>(picked.size()) == n) break;
+        if (!progressed) break;  // pool exhausted (cannot happen: n <= free)
+        ++round;
+      }
+      break;
+    }
+  }
+
+  if (static_cast<int>(picked.size()) != n) return std::nullopt;
+  return DeviceSet(std::move(picked));
+}
+
+void AllocationState::Commit(const DeviceSet& devices) {
+  for (DeviceId d : devices.devices()) {
+    DAPPLE_CHECK(!used_.at(static_cast<std::size_t>(d))) << "device G" << d << " already used";
+  }
+  for (DeviceId d : devices.devices()) {
+    used_[static_cast<std::size_t>(d)] = true;
+    used_per_server_[static_cast<std::size_t>(cluster_->server_of(d))]++;
+    --num_free_;
+  }
+}
+
+std::optional<DeviceSet> AllocationState::Allocate(PlacementPolicy policy, int n) {
+  auto planned = Plan(policy, n);
+  if (planned) Commit(*planned);
+  return planned;
+}
+
+std::string AllocationState::Key() const {
+  std::string key;
+  key.reserve(used_.size());
+  for (bool u : used_) key.push_back(u ? '1' : '0');
+  return key;
+}
+
+}  // namespace dapple::topo

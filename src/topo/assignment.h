@@ -1,0 +1,70 @@
+// Topology-aware device assignment (paper §IV-B, Fig. 5). The planner does
+// not enumerate every subset of devices for a stage; instead it composes
+// three placement policies:
+//
+//   Fresh First   — allocate from completely unused machines, keeping a
+//                   stage inside one server to exploit NVLink.
+//   Append First  — allocate from machines that already have used GPUs,
+//                   reducing fragmentation.
+//   Scatter First — take GPUs evenly from machines, suited to stages whose
+//                   activations dwarf their weights.
+//
+// This keeps the search space below O(2^S) while covering a strict superset
+// of PipeDream's hierarchical placements.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/cluster.h"
+#include "topo/device_set.h"
+
+namespace dapple::topo {
+
+enum class PlacementPolicy { kFreshFirst, kAppendFirst, kScatterFirst };
+
+/// All policies, in the order the planner enumerates them.
+const std::vector<PlacementPolicy>& AllPlacementPolicies();
+
+std::string ToString(PlacementPolicy policy);
+
+/// Mutable record of which devices are already occupied by planned stages.
+/// The planner forks this state as it explores partition points; copies are
+/// cheap (one int per server plus a bitmaskless used list).
+class AllocationState {
+ public:
+  explicit AllocationState(const Cluster& cluster);
+
+  const Cluster& cluster() const { return *cluster_; }
+
+  int num_free() const { return num_free_; }
+  int used_on_server(ServerId s) const;
+  bool is_used(DeviceId d) const;
+
+  /// Computes the devices a policy would hand out for an `n`-device request
+  /// without committing them. Returns nullopt when fewer than n devices are
+  /// free. Device ids within a server are assigned lowest-free-first, making
+  /// results deterministic.
+  std::optional<DeviceSet> Plan(PlacementPolicy policy, int n) const;
+
+  /// Marks the devices as occupied; throws if any is already used.
+  void Commit(const DeviceSet& devices);
+
+  /// Convenience: Plan + Commit.
+  std::optional<DeviceSet> Allocate(PlacementPolicy policy, int n);
+
+  /// Stable key encoding the per-device occupancy, used to memoize the
+  /// planner's dynamic program.
+  std::string Key() const;
+
+ private:
+  std::vector<DeviceId> FreeDevicesOnServer(ServerId s) const;
+
+  const Cluster* cluster_;
+  std::vector<bool> used_;
+  std::vector<int> used_per_server_;
+  int num_free_;
+};
+
+}  // namespace dapple::topo

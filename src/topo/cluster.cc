@@ -1,0 +1,119 @@
+#include "topo/cluster.h"
+
+#include "common/error.h"
+
+namespace dapple::topo {
+
+Cluster::Cluster(std::string name, int num_servers, int gpus_per_server, DeviceSpec device,
+                 InterconnectSpec interconnect)
+    : name_(std::move(name)),
+      num_servers_(num_servers),
+      gpus_per_server_(gpus_per_server),
+      device_(device),
+      interconnect_(interconnect) {
+  DAPPLE_CHECK_GT(num_servers_, 0) << "cluster " << name_;
+  DAPPLE_CHECK_GT(gpus_per_server_, 0) << "cluster " << name_;
+  DAPPLE_CHECK_GT(device_.relative_speed, 0.0);
+  DAPPLE_CHECK_GT(interconnect_.intra_server_bandwidth, 0.0);
+  DAPPLE_CHECK_GT(interconnect_.inter_server_bandwidth, 0.0);
+}
+
+Cluster Cluster::WithServerSpeeds(std::vector<double> server_speeds) const {
+  DAPPLE_CHECK_EQ(server_speeds.size(), static_cast<std::size_t>(num_servers_))
+      << "one speed per server";
+  for (double speed : server_speeds) {
+    DAPPLE_CHECK_GT(speed, 0.0) << "server speed";
+  }
+  Cluster copy = *this;
+  copy.server_speeds_ = std::move(server_speeds);
+  return copy;
+}
+
+double Cluster::server_speed(ServerId s) const {
+  DAPPLE_CHECK(s >= 0 && s < num_servers_) << "server " << s;
+  if (server_speeds_.empty()) return 1.0;
+  return server_speeds_[static_cast<std::size_t>(s)];
+}
+
+double Cluster::device_speed(DeviceId d) const {
+  return device_.relative_speed * server_speed(server_of(d));
+}
+
+ServerId Cluster::server_of(DeviceId d) const {
+  DAPPLE_CHECK(d >= 0 && d < num_devices()) << "device " << d << " out of range";
+  return d / gpus_per_server_;
+}
+
+bool Cluster::same_server(DeviceId a, DeviceId b) const {
+  return server_of(a) == server_of(b);
+}
+
+BytesPerSec Cluster::bandwidth(DeviceId a, DeviceId b) const {
+  DAPPLE_CHECK_NE(a, b) << "p2p bandwidth of a device with itself";
+  return same_server(a, b) ? interconnect_.intra_server_bandwidth
+                           : interconnect_.inter_server_bandwidth;
+}
+
+TimeSec Cluster::latency(DeviceId a, DeviceId b) const {
+  DAPPLE_CHECK_NE(a, b) << "p2p latency of a device with itself";
+  return same_server(a, b) ? interconnect_.intra_server_latency
+                           : interconnect_.inter_server_latency;
+}
+
+Cluster Cluster::WithServers(int num_servers) const {
+  DAPPLE_CHECK(num_servers > 0 && num_servers <= num_servers_)
+      << "cannot slice " << num_servers << " servers from " << name_;
+  Cluster sliced(name_, num_servers, gpus_per_server_, device_, interconnect_);
+  if (!server_speeds_.empty()) {
+    sliced.server_speeds_.assign(server_speeds_.begin(),
+                                 server_speeds_.begin() + num_servers);
+  }
+  return sliced;
+}
+
+Cluster MakeConfigA(int num_servers) {
+  InterconnectSpec net;
+  net.intra_server_bandwidth = GBps(130.0);
+  net.intra_server_latency = 3e-6;
+  net.inter_server_bandwidth = Gbps(25.0);
+  net.inter_server_latency = 30e-6;
+  return Cluster("Config-A", num_servers, /*gpus_per_server=*/8, DeviceSpec{}, net);
+}
+
+Cluster MakeConfigB(int num_servers) {
+  InterconnectSpec net;
+  // Single-GPU servers: the intra-server link is never exercised, but keep a
+  // sane value so degenerate single-device collectives stay well defined.
+  net.intra_server_bandwidth = GBps(130.0);
+  net.intra_server_latency = 3e-6;
+  net.inter_server_bandwidth = Gbps(25.0);
+  net.inter_server_latency = 30e-6;
+  return Cluster("Config-B", num_servers, /*gpus_per_server=*/1, DeviceSpec{}, net);
+}
+
+Cluster MakeConfigC(int num_servers) {
+  InterconnectSpec net;
+  net.intra_server_bandwidth = GBps(130.0);
+  net.intra_server_latency = 3e-6;
+  net.inter_server_bandwidth = Gbps(10.0);
+  net.inter_server_latency = 30e-6;
+  return Cluster("Config-C", num_servers, /*gpus_per_server=*/1, DeviceSpec{}, net);
+}
+
+Cluster MakeConfig(char which, int num_servers) {
+  switch (which) {
+    case 'A':
+    case 'a':
+      return MakeConfigA(num_servers);
+    case 'B':
+    case 'b':
+      return MakeConfigB(num_servers);
+    case 'C':
+    case 'c':
+      return MakeConfigC(num_servers);
+    default:
+      throw Error(std::string("unknown hardware config '") + which + "'");
+  }
+}
+
+}  // namespace dapple::topo

@@ -1,0 +1,107 @@
+// Cluster topology model: a set of servers, each holding a fixed number of
+// identical accelerator devices. Devices inside a server communicate over a
+// fast intra-server interconnect (NVLink in the paper's Config-A); devices
+// in different servers communicate over Ethernet. This mirrors the three
+// hardware configurations in Table III of the DAPPLE paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dapple::topo {
+
+/// Globally unique device index in [0, num_devices).
+using DeviceId = int;
+/// Server (machine) index in [0, num_servers).
+using ServerId = int;
+
+/// Per-device hardware description. `relative_speed` scales layer compute
+/// times (1.0 = the reference device used for profiling).
+struct DeviceSpec {
+  std::string name = "V100";
+  Bytes memory = 16ull * 1024 * 1024 * 1024;
+  double relative_speed = 1.0;
+};
+
+/// Link characteristics between device pairs. Intra-server applies when two
+/// devices share a server; inter-server otherwise.
+struct InterconnectSpec {
+  BytesPerSec intra_server_bandwidth = GBps(130.0);  // NVLink aggregate
+  TimeSec intra_server_latency = 3e-6;
+  BytesPerSec inter_server_bandwidth = Gbps(25.0);
+  TimeSec inter_server_latency = 30e-6;
+};
+
+/// Immutable description of a training cluster: `num_servers` machines with
+/// `gpus_per_server` devices each. Device ids are dense and laid out
+/// server-major: device d lives on server d / gpus_per_server.
+class Cluster {
+ public:
+  Cluster(std::string name, int num_servers, int gpus_per_server, DeviceSpec device,
+          InterconnectSpec interconnect);
+
+  /// Heterogeneous variant: per-server speed multipliers (e.g. a straggler
+  /// rack of older GPUs at 0.5). The vector must have one entry per
+  /// server; 1.0 = the reference device speed.
+  Cluster WithServerSpeeds(std::vector<double> server_speeds) const;
+
+  const std::string& name() const { return name_; }
+  int num_servers() const { return num_servers_; }
+  int gpus_per_server() const { return gpus_per_server_; }
+  int num_devices() const { return num_servers_ * gpus_per_server_; }
+
+  const DeviceSpec& device() const { return device_; }
+  const InterconnectSpec& interconnect() const { return interconnect_; }
+
+  ServerId server_of(DeviceId d) const;
+
+  /// Effective compute speed of one device: the device spec's speed times
+  /// its server's multiplier (1.0 when homogeneous).
+  double device_speed(DeviceId d) const;
+
+  /// Speed multiplier of one server (1.0 when homogeneous).
+  double server_speed(ServerId s) const;
+
+  /// True when all servers run at the same speed, making them
+  /// interchangeable for the planner's canonical-state memoization.
+  bool homogeneous() const { return server_speeds_.empty(); }
+
+  /// True when the two devices share a server (and thus the fast link).
+  bool same_server(DeviceId a, DeviceId b) const;
+
+  /// Point-to-point bandwidth between two distinct devices.
+  BytesPerSec bandwidth(DeviceId a, DeviceId b) const;
+
+  /// Point-to-point latency between two distinct devices.
+  TimeSec latency(DeviceId a, DeviceId b) const;
+
+  /// Restriction of this cluster to its first `num_servers` machines; used
+  /// by scaling studies (Figs. 13/14 run on 2x8 and 4x8 slices).
+  Cluster WithServers(int num_servers) const;
+
+ private:
+  std::string name_;
+  int num_servers_;
+  int gpus_per_server_;
+  DeviceSpec device_;
+  InterconnectSpec interconnect_;
+  /// Empty = homogeneous; else one multiplier per server.
+  std::vector<double> server_speeds_;
+};
+
+/// Table III Config-A: servers with 8 V100s, NVLink intra-server, 25 Gbps
+/// Ethernet between servers.
+Cluster MakeConfigA(int num_servers);
+
+/// Table III Config-B: single-V100 servers on 25 Gbps Ethernet (flat).
+Cluster MakeConfigB(int num_servers);
+
+/// Table III Config-C: single-V100 servers on 10 Gbps Ethernet (flat).
+Cluster MakeConfigC(int num_servers);
+
+/// Looks up a config by letter ('A'/'B'/'C') with `num_servers` machines.
+Cluster MakeConfig(char which, int num_servers);
+
+}  // namespace dapple::topo

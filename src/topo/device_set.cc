@@ -1,0 +1,95 @@
+#include "topo/device_set.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dapple::topo {
+
+DeviceSet::DeviceSet(std::vector<DeviceId> devices) : devices_(std::move(devices)) {
+  std::set<DeviceId> seen;
+  for (DeviceId d : devices_) {
+    DAPPLE_CHECK_GE(d, 0) << "negative device id";
+    DAPPLE_CHECK(seen.insert(d).second) << "duplicate device " << d << " in set";
+  }
+}
+
+DeviceSet DeviceSet::Range(DeviceId first, int count) {
+  DAPPLE_CHECK_GE(count, 0);
+  std::vector<DeviceId> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) ids.push_back(first + i);
+  return DeviceSet(std::move(ids));
+}
+
+bool DeviceSet::contains(DeviceId d) const {
+  return std::find(devices_.begin(), devices_.end(), d) != devices_.end();
+}
+
+int DeviceSet::NumServers(const Cluster& cluster) const {
+  std::set<ServerId> servers;
+  for (DeviceId d : devices_) servers.insert(cluster.server_of(d));
+  return static_cast<int>(servers.size());
+}
+
+bool DeviceSet::SingleServer(const Cluster& cluster) const {
+  return NumServers(cluster) <= 1;
+}
+
+std::vector<int> DeviceSet::PerServerCounts(const Cluster& cluster) const {
+  std::vector<int> counts(static_cast<std::size_t>(cluster.num_servers()), 0);
+  for (DeviceId d : devices_) counts[static_cast<std::size_t>(cluster.server_of(d))]++;
+  return counts;
+}
+
+BytesPerSec DeviceSet::BottleneckBandwidth(const Cluster& cluster) const {
+  if (size() < 2) return std::numeric_limits<BytesPerSec>::infinity();
+  // The bottleneck is inter-server iff the set spans servers; checking the
+  // span avoids the O(n^2) pair loop.
+  return SingleServer(cluster) ? cluster.interconnect().intra_server_bandwidth
+                               : cluster.interconnect().inter_server_bandwidth;
+}
+
+TimeSec DeviceSet::MaxLatency(const Cluster& cluster) const {
+  if (size() < 2) return 0.0;
+  return SingleServer(cluster) ? cluster.interconnect().intra_server_latency
+                               : cluster.interconnect().inter_server_latency;
+}
+
+DeviceSet DeviceSet::Union(const DeviceSet& other) const {
+  std::vector<DeviceId> ids = devices_;
+  for (DeviceId d : other.devices_) {
+    DAPPLE_CHECK(!contains(d)) << "device sets overlap at " << d;
+    ids.push_back(d);
+  }
+  return DeviceSet(std::move(ids));
+}
+
+std::string DeviceSet::ToString() const {
+  if (devices_.empty()) return "[]";
+  // Prefer the compact range form used by Table VII in the paper.
+  bool contiguous = true;
+  for (std::size_t i = 1; i < devices_.size(); ++i) {
+    if (devices_[i] != devices_[i - 1] + 1) {
+      contiguous = false;
+      break;
+    }
+  }
+  std::ostringstream os;
+  if (contiguous && devices_.size() > 1) {
+    os << "[G" << devices_.front() << "-G" << devices_.back() << "]";
+    return os.str();
+  }
+  os << "[";
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (i) os << ",";
+    os << "G" << devices_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace dapple::topo

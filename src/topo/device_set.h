@@ -1,0 +1,59 @@
+// DeviceSet: an ordered collection of device ids assigned to one pipeline
+// stage, plus queries the cost models need (server span, per-server counts,
+// slowest link inside the set).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "topo/cluster.h"
+
+namespace dapple::topo {
+
+/// Ordered, duplicate-free set of devices hosting one (possibly replicated)
+/// pipeline stage. Order is the replica rank order.
+class DeviceSet {
+ public:
+  DeviceSet() = default;
+  explicit DeviceSet(std::vector<DeviceId> devices);
+
+  static DeviceSet Range(DeviceId first, int count);
+
+  bool empty() const { return devices_.empty(); }
+  int size() const { return static_cast<int>(devices_.size()); }
+  const std::vector<DeviceId>& devices() const { return devices_; }
+  DeviceId operator[](int i) const { return devices_.at(static_cast<std::size_t>(i)); }
+
+  bool contains(DeviceId d) const;
+
+  /// Number of distinct servers the set touches.
+  int NumServers(const Cluster& cluster) const;
+
+  /// True when every device lives on one server.
+  bool SingleServer(const Cluster& cluster) const;
+
+  /// Count of the set's devices on each server (indexed by ServerId, sized
+  /// to cluster.num_servers()).
+  std::vector<int> PerServerCounts(const Cluster& cluster) const;
+
+  /// Minimum pairwise bandwidth inside the set: the ring-allreduce
+  /// bottleneck link. Returns +inf for sets of size < 2 (no communication).
+  BytesPerSec BottleneckBandwidth(const Cluster& cluster) const;
+
+  /// Maximum pairwise latency inside the set.
+  TimeSec MaxLatency(const Cluster& cluster) const;
+
+  /// Union with disjoint `other`; throws if they overlap.
+  DeviceSet Union(const DeviceSet& other) const;
+
+  /// Compact display such as "[G0-G7]" or "[G0,G2,G4]".
+  std::string ToString() const;
+
+  bool operator==(const DeviceSet& other) const { return devices_ == other.devices_; }
+
+ private:
+  std::vector<DeviceId> devices_;
+};
+
+}  // namespace dapple::topo

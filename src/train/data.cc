@@ -1,0 +1,31 @@
+#include "train/data.h"
+
+#include "common/error.h"
+
+namespace dapple::train {
+
+Dataset MakeTeacherDataset(const DatasetSpec& spec) {
+  DAPPLE_CHECK_GT(spec.samples, 0u);
+  Rng rng(spec.seed);
+  Dataset data;
+  data.inputs = Tensor::Random(spec.samples, spec.in_features, rng, 1.0f);
+
+  Rng teacher_rng(rng.Fork());
+  MlpModel teacher = MlpModel::MakeMlp(spec.in_features, spec.teacher_hidden,
+                                       spec.out_features, /*hidden_layers=*/1, teacher_rng);
+  Tensor out = data.inputs;
+  for (int l = 0; l < teacher.num_layers(); ++l) {
+    out = teacher.layer(l).Forward(out, nullptr);
+  }
+  if (spec.label_noise > 0.0) {
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      for (std::size_t c = 0; c < out.cols(); ++c) {
+        out.at(r, c) += static_cast<float>(rng.Normal(0.0, spec.label_noise));
+      }
+    }
+  }
+  data.targets = std::move(out);
+  return data;
+}
+
+}  // namespace dapple::train

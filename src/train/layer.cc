@@ -1,0 +1,120 @@
+#include "train/layer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dapple::train {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : weight_(Tensor::Random(in_features, out_features, rng,
+                             static_cast<float>(1.0 / std::sqrt(in_features)))),
+      bias_(1, out_features, 0.0f) {}
+
+Linear::Linear(Tensor weight, Tensor bias)
+    : weight_(std::move(weight)), bias_(std::move(bias)) {
+  DAPPLE_CHECK_EQ(bias_.rows(), 1u) << "bias must be a row vector";
+  DAPPLE_CHECK_EQ(bias_.cols(), weight_.cols()) << "bias/weight width mismatch";
+}
+
+Tensor Linear::Forward(const Tensor& input, Tensor* saved) const {
+  DAPPLE_CHECK_EQ(input.cols(), weight_.rows()) << "linear input width";
+  Tensor out = input.MatMul(weight_);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out.at(r, c) += bias_.at(0, c);
+    }
+  }
+  if (saved) *saved = input;
+  return out;
+}
+
+Tensor Linear::Backward(const Tensor& saved, const Tensor& grad_out,
+                        LayerGrads* grads) const {
+  DAPPLE_CHECK(grads != nullptr) << "linear backward needs a grads sink";
+  // dW = saved^T * grad_out; db = column sums; dX = grad_out * W^T.
+  Tensor dw = saved.Transposed().MatMul(grad_out);
+  Tensor db(1, grad_out.cols(), 0.0f);
+  for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+    for (std::size_t c = 0; c < grad_out.cols(); ++c) {
+      db.at(0, c) += grad_out.at(r, c);
+    }
+  }
+  if (grads->weight.empty()) {
+    grads->weight = std::move(dw);
+    grads->bias = std::move(db);
+  } else {
+    grads->weight.AddInPlace(dw);
+    grads->bias.AddInPlace(db);
+  }
+  return grad_out.MatMul(weight_.Transposed());
+}
+
+std::unique_ptr<Layer> Linear::Clone() const {
+  return std::make_unique<Linear>(weight_, bias_);
+}
+
+Tensor Relu::Forward(const Tensor& input, Tensor* saved) const {
+  Tensor out = input;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      if (out.at(r, c) < 0.0f) out.at(r, c) = 0.0f;
+    }
+  }
+  if (saved) *saved = input;
+  return out;
+}
+
+Tensor Relu::Backward(const Tensor& saved, const Tensor& grad_out, LayerGrads*) const {
+  Tensor grad_in = grad_out;
+  for (std::size_t r = 0; r < grad_in.rows(); ++r) {
+    for (std::size_t c = 0; c < grad_in.cols(); ++c) {
+      if (saved.at(r, c) <= 0.0f) grad_in.at(r, c) = 0.0f;
+    }
+  }
+  return grad_in;
+}
+
+Tensor Tanh::Forward(const Tensor& input, Tensor* saved) const {
+  Tensor out = input;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out.at(r, c) = std::tanh(out.at(r, c));
+    }
+  }
+  if (saved) *saved = input;
+  return out;
+}
+
+Tensor Tanh::Backward(const Tensor& saved, const Tensor& grad_out, LayerGrads*) const {
+  Tensor grad_in = grad_out;
+  for (std::size_t r = 0; r < grad_in.rows(); ++r) {
+    for (std::size_t c = 0; c < grad_in.cols(); ++c) {
+      const float t = std::tanh(saved.at(r, c));
+      grad_in.at(r, c) *= 1.0f - t * t;
+    }
+  }
+  return grad_in;
+}
+
+double MseLoss::Compute(const Tensor& predictions, const Tensor& targets,
+                        std::size_t normalization, Tensor* grad) {
+  DAPPLE_CHECK(predictions.rows() == targets.rows() &&
+               predictions.cols() == targets.cols())
+      << "loss shape mismatch";
+  DAPPLE_CHECK_GT(normalization, 0u);
+  double loss = 0.0;
+  Tensor g(predictions.rows(), predictions.cols());
+  const float inv = 1.0f / static_cast<float>(normalization);
+  for (std::size_t r = 0; r < predictions.rows(); ++r) {
+    for (std::size_t c = 0; c < predictions.cols(); ++c) {
+      const float diff = predictions.at(r, c) - targets.at(r, c);
+      loss += 0.5 * static_cast<double>(diff) * diff;
+      g.at(r, c) = diff * inv;
+    }
+  }
+  if (grad) *grad = std::move(g);
+  return loss / static_cast<double>(normalization);
+}
+
+}  // namespace dapple::train

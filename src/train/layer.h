@@ -1,0 +1,97 @@
+// Trainable layers for the numeric substrate. Layers are stateless with
+// respect to activations: Forward returns the saved context explicitly so
+// several micro-batches can be in flight simultaneously — exactly the
+// property the DAPPLE runtime exploits (and the property GPipe's O(M)
+// memory cost comes from).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "train/tensor.h"
+
+namespace dapple::train {
+
+/// Gradients of a layer's parameters; empty tensors for activation-only
+/// layers.
+struct LayerGrads {
+  Tensor weight;
+  Tensor bias;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual const char* kind() const = 0;
+
+  /// Computes the layer output. `saved` receives whatever the backward
+  /// pass needs (typically the input); with re-computation the caller
+  /// discards it and regenerates it later.
+  virtual Tensor Forward(const Tensor& input, Tensor* saved) const = 0;
+
+  /// Computes the input gradient from the saved context and the output
+  /// gradient; parameter gradients (if any) are accumulated into `grads`.
+  virtual Tensor Backward(const Tensor& saved, const Tensor& grad_out,
+                          LayerGrads* grads) const = 0;
+
+  virtual bool has_params() const { return false; }
+  /// Parameter access for optimizers; only valid when has_params().
+  virtual Tensor* mutable_weight() { return nullptr; }
+  virtual Tensor* mutable_bias() { return nullptr; }
+
+  /// Deep copy (for data-parallel replicas).
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+};
+
+/// Fully connected layer: out = in * W + b.
+class Linear : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+  Linear(Tensor weight, Tensor bias);
+
+  const char* kind() const override { return "Linear"; }
+  Tensor Forward(const Tensor& input, Tensor* saved) const override;
+  Tensor Backward(const Tensor& saved, const Tensor& grad_out,
+                  LayerGrads* grads) const override;
+  bool has_params() const override { return true; }
+  Tensor* mutable_weight() override { return &weight_; }
+  Tensor* mutable_bias() override { return &bias_; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  Tensor weight_;  // in x out
+  Tensor bias_;    // 1 x out
+};
+
+/// Rectified linear activation.
+class Relu : public Layer {
+ public:
+  const char* kind() const override { return "ReLU"; }
+  Tensor Forward(const Tensor& input, Tensor* saved) const override;
+  Tensor Backward(const Tensor& saved, const Tensor& grad_out,
+                  LayerGrads* grads) const override;
+  std::unique_ptr<Layer> Clone() const override { return std::make_unique<Relu>(); }
+};
+
+/// Hyperbolic tangent activation.
+class Tanh : public Layer {
+ public:
+  const char* kind() const override { return "Tanh"; }
+  Tensor Forward(const Tensor& input, Tensor* saved) const override;
+  Tensor Backward(const Tensor& saved, const Tensor& grad_out,
+                  LayerGrads* grads) const override;
+  std::unique_ptr<Layer> Clone() const override { return std::make_unique<Tanh>(); }
+};
+
+/// Mean-squared-error loss with an explicit normalization count so that
+/// micro-batch gradient accumulation sums to exactly the global-batch
+/// mean: loss(micro) = sum((pred - target)^2) / (2 * normalization).
+struct MseLoss {
+  /// Returns the (partial) loss and writes d(loss)/d(pred) to `grad`.
+  static double Compute(const Tensor& predictions, const Tensor& targets,
+                        std::size_t normalization, Tensor* grad);
+};
+
+}  // namespace dapple::train

@@ -1,0 +1,150 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dapple::train {
+
+namespace {
+
+void CheckArity(const std::vector<Tensor*>& params, const GradientVector& grads) {
+  DAPPLE_CHECK_EQ(params.size(), grads.size()) << "optimizer arity mismatch";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    DAPPLE_CHECK(params[i]->rows() == grads[i].rows() &&
+                 params[i]->cols() == grads[i].cols())
+        << "param/grad shape mismatch at " << i;
+  }
+}
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr) : lr_(lr) {}
+  const char* name() const override { return "SGD"; }
+  void Step(const std::vector<Tensor*>& params, const GradientVector& grads) override {
+    CheckArity(params, grads);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      float* p = params[i]->data();
+      const float* g = grads[i].data();
+      for (std::size_t k = 0; k < params[i]->size(); ++k) p[k] -= lr_ * g[k];
+    }
+  }
+
+ private:
+  float lr_;
+};
+
+class Momentum : public Optimizer {
+ public:
+  Momentum(float lr, float momentum) : lr_(lr), momentum_(momentum) {}
+  const char* name() const override { return "Momentum"; }
+  void Step(const std::vector<Tensor*>& params, const GradientVector& grads) override {
+    CheckArity(params, grads);
+    EnsureSlots(params);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      float* p = params[i]->data();
+      const float* g = grads[i].data();
+      float* v = velocity_[i].data();
+      for (std::size_t k = 0; k < params[i]->size(); ++k) {
+        v[k] = momentum_ * v[k] + g[k];
+        p[k] -= lr_ * v[k];
+      }
+    }
+  }
+
+ private:
+  void EnsureSlots(const std::vector<Tensor*>& params) {
+    if (!velocity_.empty()) return;
+    for (const Tensor* p : params) velocity_.emplace_back(p->rows(), p->cols(), 0.0f);
+  }
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(float lr, float beta1, float beta2, float epsilon)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+  const char* name() const override { return "Adam"; }
+  void Step(const std::vector<Tensor*>& params, const GradientVector& grads) override {
+    CheckArity(params, grads);
+    EnsureSlots(params);
+    ++step_;
+    const double bc1 = 1.0 - std::pow(beta1_, step_);
+    const double bc2 = 1.0 - std::pow(beta2_, step_);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      float* p = params[i]->data();
+      const float* g = grads[i].data();
+      float* m = m_[i].data();
+      float* v = v_[i].data();
+      for (std::size_t k = 0; k < params[i]->size(); ++k) {
+        m[k] = beta1_ * m[k] + (1.0f - beta1_) * g[k];
+        v[k] = beta2_ * v[k] + (1.0f - beta2_) * g[k] * g[k];
+        const double mhat = m[k] / bc1;
+        const double vhat = v[k] / bc2;
+        p[k] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + epsilon_));
+      }
+    }
+  }
+
+ private:
+  void EnsureSlots(const std::vector<Tensor*>& params) {
+    if (!m_.empty()) return;
+    for (const Tensor* p : params) {
+      m_.emplace_back(p->rows(), p->cols(), 0.0f);
+      v_.emplace_back(p->rows(), p->cols(), 0.0f);
+    }
+  }
+  float lr_, beta1_, beta2_, epsilon_;
+  int step_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(float lr, float decay, float epsilon) : lr_(lr), decay_(decay), epsilon_(epsilon) {}
+  const char* name() const override { return "RMSProp"; }
+  void Step(const std::vector<Tensor*>& params, const GradientVector& grads) override {
+    CheckArity(params, grads);
+    EnsureSlots(params);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      float* p = params[i]->data();
+      const float* g = grads[i].data();
+      float* acc = acc_[i].data();
+      for (std::size_t k = 0; k < params[i]->size(); ++k) {
+        acc[k] = decay_ * acc[k] + (1.0f - decay_) * g[k] * g[k];
+        p[k] -= lr_ * g[k] / (std::sqrt(acc[k]) + epsilon_);
+      }
+    }
+  }
+
+ private:
+  void EnsureSlots(const std::vector<Tensor*>& params) {
+    if (!acc_.empty()) return;
+    for (const Tensor* p : params) acc_.emplace_back(p->rows(), p->cols(), 0.0f);
+  }
+  float lr_, decay_, epsilon_;
+  std::vector<Tensor> acc_;
+};
+
+}  // namespace
+
+std::unique_ptr<Optimizer> MakeSgd(float learning_rate) {
+  return std::make_unique<Sgd>(learning_rate);
+}
+
+std::unique_ptr<Optimizer> MakeMomentum(float learning_rate, float momentum) {
+  return std::make_unique<Momentum>(learning_rate, momentum);
+}
+
+std::unique_ptr<Optimizer> MakeAdam(float learning_rate, float beta1, float beta2,
+                                    float epsilon) {
+  return std::make_unique<Adam>(learning_rate, beta1, beta2, epsilon);
+}
+
+std::unique_ptr<Optimizer> MakeRmsProp(float learning_rate, float decay, float epsilon) {
+  return std::make_unique<RmsProp>(learning_rate, decay, epsilon);
+}
+
+}  // namespace dapple::train

@@ -1,0 +1,34 @@
+// Optimizers for the numeric substrate: SGD, SGD+momentum, Adam and
+// RMSProp — the four the paper's experiments use (§VI-A). Each operates on
+// the flat parameter view so the same optimizer instance serves serial,
+// data-parallel and pipelined training identically (a prerequisite for the
+// gradient-equivalence claim to translate into identical weight
+// trajectories).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "train/model.h"
+
+namespace dapple::train {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual const char* name() const = 0;
+
+  /// Applies one update step: params[i] -= f(grads[i]). Slot state (Adam
+  /// moments etc.) is keyed by position, so the params list must be stable
+  /// across calls.
+  virtual void Step(const std::vector<Tensor*>& params, const GradientVector& grads) = 0;
+};
+
+std::unique_ptr<Optimizer> MakeSgd(float learning_rate);
+std::unique_ptr<Optimizer> MakeMomentum(float learning_rate, float momentum = 0.9f);
+std::unique_ptr<Optimizer> MakeAdam(float learning_rate, float beta1 = 0.9f,
+                                    float beta2 = 0.999f, float epsilon = 1e-8f);
+std::unique_ptr<Optimizer> MakeRmsProp(float learning_rate, float decay = 0.9f,
+                                       float epsilon = 1e-8f);
+
+}  // namespace dapple::train

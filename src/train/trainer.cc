@@ -1,0 +1,60 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dapple::train {
+
+const char* ToString(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kSerial: return "serial";
+    case Strategy::kDataParallel: return "data-parallel";
+    case Strategy::kPipelined: return "pipelined";
+  }
+  return "?";
+}
+
+TrainingRun Train(const MlpModel& model, const Dataset& data, Optimizer& optimizer,
+                  const TrainerOptions& options) {
+  DAPPLE_CHECK_GT(options.iterations, 0);
+  TrainingRun run;
+  run.final_model = model.Clone();
+
+  for (int it = 0; it < options.iterations; ++it) {
+    BackpropResult bp;
+    switch (options.strategy) {
+      case Strategy::kSerial:
+        bp = RunSerial(run.final_model, data.inputs, data.targets);
+        break;
+      case Strategy::kDataParallel:
+        bp = RunDataParallel(run.final_model, data.inputs, data.targets, options.replicas);
+        break;
+      case Strategy::kPipelined:
+        bp = RunPipelined(run.final_model, data.inputs, data.targets, options.pipeline);
+        break;
+    }
+    run.losses.push_back(bp.loss);
+    if (run.max_in_flight.size() < bp.max_in_flight.size()) {
+      run.max_in_flight.resize(bp.max_in_flight.size(), 0);
+    }
+    for (std::size_t s = 0; s < bp.max_in_flight.size(); ++s) {
+      run.max_in_flight[s] = std::max(run.max_in_flight[s], bp.max_in_flight[s]);
+    }
+    optimizer.Step(run.final_model.Params(), bp.grads);
+  }
+  return run;
+}
+
+float MaxWeightDiff(MlpModel& a, MlpModel& b) {
+  const std::vector<Tensor*> pa = a.Params();
+  const std::vector<Tensor*> pb = b.Params();
+  DAPPLE_CHECK_EQ(pa.size(), pb.size()) << "model structure mismatch";
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    worst = std::max(worst, Tensor::MaxAbsDiff(*pa[i], *pb[i]));
+  }
+  return worst;
+}
+
+}  // namespace dapple::train

@@ -1,0 +1,48 @@
+// Training loop driving any of the three executors over a dataset,
+// recording the loss curve — the substrate behind the repository's
+// convergence-equivalence experiments (paper §VI-A's "convergence is
+// safely preserved").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "train/data.h"
+#include "train/executor.h"
+#include "train/optimizer.h"
+
+namespace dapple::train {
+
+enum class Strategy { kSerial, kDataParallel, kPipelined };
+
+const char* ToString(Strategy strategy);
+
+struct TrainerOptions {
+  Strategy strategy = Strategy::kSerial;
+  int iterations = 50;
+  /// Data-parallel replica count (strategy kDataParallel).
+  int replicas = 2;
+  /// Pipeline settings (strategy kPipelined).
+  PipelineRunOptions pipeline;
+};
+
+struct TrainingRun {
+  std::vector<double> losses;  // one entry per iteration
+  MlpModel final_model;
+  /// Worst per-stage in-flight stash count across the run (pipelined).
+  std::vector<int> max_in_flight;
+
+  double final_loss() const { return losses.empty() ? 0.0 : losses.back(); }
+};
+
+/// Trains `model` (copied; the input is untouched) with `optimizer` on the
+/// full dataset each iteration (full-batch training keeps the equivalence
+/// claim exact) and returns the loss trajectory and final weights.
+TrainingRun Train(const MlpModel& model, const Dataset& data, Optimizer& optimizer,
+                  const TrainerOptions& options);
+
+/// Largest elementwise weight difference between two runs' final models.
+float MaxWeightDiff(MlpModel& a, MlpModel& b);
+
+}  // namespace dapple::train

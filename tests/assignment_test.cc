@@ -1,0 +1,141 @@
+// Tests for the three topology-aware placement policies of paper §IV-B
+// (Fig. 5): Fresh First, Append First, Scatter First.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "topo/assignment.h"
+
+namespace dapple::topo {
+namespace {
+
+// Reproduces Fig. 5's setup: 3 machines of 8 GPUs; machine 0 already has 4
+// GPUs occupied (G0-G3); then 6 devices are requested under each policy.
+class Fig5Scenario : public ::testing::Test {
+ protected:
+  Fig5Scenario() : cluster_(MakeConfigA(3)), state_(cluster_) {
+    state_.Commit(DeviceSet::Range(0, 4));
+  }
+  Cluster cluster_;
+  AllocationState state_;
+};
+
+TEST_F(Fig5Scenario, FreshFirstPrefersUnusedMachine) {
+  const auto set = state_.Plan(PlacementPolicy::kFreshFirst, 6);
+  ASSERT_TRUE(set.has_value());
+  // All six land on a fresh machine (machine 1, the first fresh one).
+  for (DeviceId d : set->devices()) {
+    EXPECT_EQ(cluster_.server_of(d), 1);
+  }
+}
+
+TEST_F(Fig5Scenario, AppendFirstConsumesFragmentsFirst)
+{
+  const auto set = state_.Plan(PlacementPolicy::kAppendFirst, 6);
+  ASSERT_TRUE(set.has_value());
+  // Machine 0's 4 free GPUs (G4-G7) first, overflowing onto machine 1.
+  const auto counts = set->PerServerCounts(cluster_);
+  EXPECT_EQ(counts[0], 4);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_TRUE(set->contains(4));
+  EXPECT_TRUE(set->contains(7));
+}
+
+TEST_F(Fig5Scenario, ScatterFirstUsesPartiallyUsedMachinesFirst) {
+  const auto set = state_.Plan(PlacementPolicy::kScatterFirst, 2);
+  ASSERT_TRUE(set.has_value());
+  // Machine 0 is the only partially used machine: scatter draws from it.
+  const auto counts = set->PerServerCounts(cluster_);
+  EXPECT_EQ(counts[0], 2);
+}
+
+TEST(ScatterFirst, SpreadsEvenlyOnFreshCluster) {
+  const Cluster cluster = MakeConfigA(4);
+  AllocationState state(cluster);
+  const auto set = state.Plan(PlacementPolicy::kScatterFirst, 8);
+  ASSERT_TRUE(set.has_value());
+  const auto counts = set->PerServerCounts(cluster);
+  for (int c : counts) EXPECT_EQ(c, 2);
+}
+
+TEST(FreshFirst, FillsWholeMachinesInOrder) {
+  const Cluster cluster = MakeConfigA(2);
+  AllocationState state(cluster);
+  const auto set = state.Plan(PlacementPolicy::kFreshFirst, 8);
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(*set, DeviceSet::Range(0, 8));
+}
+
+TEST(AllocationState, PlanDoesNotMutate) {
+  const Cluster cluster = MakeConfigA(1);
+  AllocationState state(cluster);
+  (void)state.Plan(PlacementPolicy::kFreshFirst, 4);
+  EXPECT_EQ(state.num_free(), 8);
+}
+
+TEST(AllocationState, AllocateCommits) {
+  const Cluster cluster = MakeConfigA(1);
+  AllocationState state(cluster);
+  const auto set = state.Allocate(PlacementPolicy::kFreshFirst, 3);
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(state.num_free(), 5);
+  for (DeviceId d : set->devices()) EXPECT_TRUE(state.is_used(d));
+}
+
+TEST(AllocationState, OverCommitRejected) {
+  const Cluster cluster = MakeConfigB(2);
+  AllocationState state(cluster);
+  EXPECT_FALSE(state.Plan(PlacementPolicy::kFreshFirst, 3).has_value());
+  state.Commit(DeviceSet({0}));
+  EXPECT_THROW(state.Commit(DeviceSet({0})), dapple::Error);
+}
+
+TEST(AllocationState, KeyTracksOccupancy) {
+  const Cluster cluster = MakeConfigB(3);
+  AllocationState state(cluster);
+  EXPECT_EQ(state.Key(), "000");
+  state.Commit(DeviceSet({1}));
+  EXPECT_EQ(state.Key(), "010");
+}
+
+TEST(AllocationState, DeterministicLowestFreeFirst) {
+  const Cluster cluster = MakeConfigA(1);
+  AllocationState state(cluster);
+  state.Commit(DeviceSet({0, 2}));
+  const auto set = state.Plan(PlacementPolicy::kAppendFirst, 3);
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(set->devices(), (std::vector<DeviceId>{1, 3, 4}));
+}
+
+// Every policy must satisfy any request that fits, on any occupancy.
+class PolicyExhaustionTest
+    : public ::testing::TestWithParam<PlacementPolicy> {};
+
+TEST_P(PolicyExhaustionTest, SatisfiesAnyFittingRequest) {
+  const Cluster cluster = MakeConfigA(3);
+  for (int pre = 0; pre <= 16; pre += 4) {
+    AllocationState state(cluster);
+    if (pre > 0) state.Commit(DeviceSet::Range(0, pre));
+    for (int n = 1; n <= state.num_free(); ++n) {
+      const auto set = state.Plan(GetParam(), n);
+      ASSERT_TRUE(set.has_value()) << ToString(GetParam()) << " n=" << n << " pre=" << pre;
+      EXPECT_EQ(set->size(), n);
+      for (DeviceId d : set->devices()) EXPECT_FALSE(state.is_used(d));
+    }
+    EXPECT_FALSE(state.Plan(GetParam(), state.num_free() + 1).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyExhaustionTest,
+                         ::testing::ValuesIn(AllPlacementPolicies()),
+                         [](const auto& info) { return ToString(info.param); });
+
+TEST(Policies, NamesAreStable) {
+  EXPECT_EQ(ToString(PlacementPolicy::kFreshFirst), "FreshFirst");
+  EXPECT_EQ(ToString(PlacementPolicy::kAppendFirst), "AppendFirst");
+  EXPECT_EQ(ToString(PlacementPolicy::kScatterFirst), "ScatterFirst");
+  EXPECT_EQ(AllPlacementPolicies().size(), 3u);
+}
+
+}  // namespace
+}  // namespace dapple::topo

@@ -1,0 +1,83 @@
+// End-to-end CLI smoke tests: exercise `dapple zoo/plan/run` as a user
+// would, including the plan-file round trip and chrome-trace export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef DAPPLE_CLI_PATH
+#define DAPPLE_CLI_PATH "./dapple"
+#endif
+
+std::string RunCli(const std::string& args, int* exit_code) {
+  const std::string output_path = "/tmp/dapple_cli_test_out.txt";
+  const std::string command =
+      std::string(DAPPLE_CLI_PATH) + " " + args + " > " + output_path + " 2>&1";
+  const int status = std::system(command.c_str());
+  *exit_code = WEXITSTATUS(status);
+  std::ifstream in(output_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::remove(output_path.c_str());
+  return content;
+}
+
+TEST(Cli, ZooListsBenchmarkModels) {
+  int code = 0;
+  const std::string out = RunCli("zoo", &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("BERT-48"), std::string::npos);
+  EXPECT_NE(out.find("AmoebaNet-36"), std::string::npos);
+  EXPECT_NE(out.find("933.0M"), std::string::npos);
+}
+
+TEST(Cli, PlanSaveRunRoundTrip) {
+  const std::string plan_path = "/tmp/dapple_cli_test.plan";
+  int code = 0;
+  const std::string plan_out =
+      RunCli("plan GNMT-16 A 2 1024 --save " + plan_path, &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(plan_out.find("8 : 8"), std::string::npos);
+  EXPECT_NE(plan_out.find("saved to"), std::string::npos);
+
+  const std::string run_out =
+      RunCli("run GNMT-16 A 2 1024 --plan " + plan_path, &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(run_out.find("speedup"), std::string::npos);
+  EXPECT_NE(run_out.find("Stage"), std::string::npos);
+  std::remove(plan_path.c_str());
+}
+
+TEST(Cli, RunWithTraceAndGantt) {
+  const std::string trace_path = "/tmp/dapple_cli_test_trace.json";
+  int code = 0;
+  const std::string out = RunCli(
+      "run BERT-48 B 2 8 --schedule gpipe --recompute --gantt --trace " + trace_path,
+      &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("GPipe schedule + recompute"), std::string::npos);
+  EXPECT_NE(out.find("R0 "), std::string::npos);  // gantt lane
+  std::ifstream trace(trace_path);
+  ASSERT_TRUE(trace.good());
+  std::string content((std::istreambuf_iterator<char>(trace)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("traceEvents"), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST(Cli, BadUsageFails) {
+  int code = 0;
+  RunCli("", &code);
+  EXPECT_NE(code, 0);
+  RunCli("plan", &code);
+  EXPECT_NE(code, 0);
+  const std::string out = RunCli("run NoSuchModel A 2 8", &code);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("unknown benchmark model"), std::string::npos);
+}
+
+}  // namespace

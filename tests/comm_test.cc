@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "comm/cost_model.h"
+#include "topo/cluster.h"
+
+namespace dapple::comm {
+namespace {
+
+using topo::Cluster;
+using topo::DeviceSet;
+using topo::MakeConfigA;
+using topo::MakeConfigB;
+
+TEST(CostModel, P2PRespectsLocality) {
+  const Cluster a = MakeConfigA(2);
+  CostModel cost(a);
+  const Bytes bytes = 100_MiB;
+  const TimeSec intra = cost.P2P(0, 1, bytes);
+  const TimeSec inter = cost.P2P(0, 8, bytes);
+  EXPECT_LT(intra, inter);
+  // 100 MiB over 25 Gbps ~ 33.6 ms dominates overheads.
+  EXPECT_NEAR(inter, static_cast<double>(bytes) / Gbps(25.0), 1e-3);
+  EXPECT_EQ(cost.P2P(0, 0, bytes), 0.0);
+  EXPECT_EQ(cost.P2P(0, 1, 0), 0.0);
+}
+
+TEST(CostModel, RingAllReduceMatchesClosedForm) {
+  const Cluster a = MakeConfigA(1);
+  CostModel cost(a);
+  const DeviceSet ring = DeviceSet::Range(0, 4);
+  const Bytes bytes = 1_GiB;
+  const double expected_volume = 2.0 * 3.0 / 4.0 * static_cast<double>(bytes);
+  const TimeSec t = cost.RingAllReduce(ring, bytes);
+  EXPECT_NEAR(t, expected_volume / GBps(130.0), 1e-3);
+}
+
+TEST(CostModel, AllReduceZeroForTrivialCases) {
+  const Cluster a = MakeConfigA(1);
+  CostModel cost(a);
+  EXPECT_EQ(cost.AllReduce(DeviceSet::Range(0, 1), 1_GiB), 0.0);
+  EXPECT_EQ(cost.AllReduce(DeviceSet::Range(0, 4), 0), 0.0);
+}
+
+TEST(CostModel, HierarchicalBeatsFlatRingAcrossServers) {
+  const Cluster a = MakeConfigA(2);
+  CostModel cost(a);
+  const DeviceSet span = DeviceSet::Range(0, 16);
+  const Bytes bytes = 1_GiB;
+  const TimeSec ring = cost.RingAllReduce(span, bytes);
+  const TimeSec hier = cost.HierarchicalAllReduce(span, bytes);
+  // Flat ring is bottlenecked by Ethernet for the full 2(n-1)/n volume;
+  // hierarchical only sends 2(k-1)/k over Ethernet.
+  EXPECT_LT(hier, ring);
+  // NCCL-2.4-era default: flat ring.
+  EXPECT_DOUBLE_EQ(cost.AllReduce(span, bytes), ring);
+  CostModelOptions opt;
+  opt.enable_hierarchical = true;
+  EXPECT_DOUBLE_EQ(CostModel(a, opt).AllReduce(span, bytes), hier);
+}
+
+TEST(CostModel, HierarchicalFallsBackToRingWithinServer) {
+  const Cluster a = MakeConfigA(2);
+  CostModel cost(a);
+  const DeviceSet local = DeviceSet::Range(0, 8);
+  EXPECT_DOUBLE_EQ(cost.HierarchicalAllReduce(local, 1_GiB),
+                   cost.RingAllReduce(local, 1_GiB));
+}
+
+TEST(CostModel, AllReduceMonotoneInSize) {
+  const Cluster b = MakeConfigB(8);
+  CostModel cost(b);
+  const DeviceSet devices = DeviceSet::Range(0, 8);
+  TimeSec prev = 0.0;
+  for (Bytes bytes : {1_MiB, 16_MiB, 256_MiB, 1_GiB}) {
+    const TimeSec t = cost.AllReduce(devices, bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModel, CrossStageUsesWorstLink) {
+  const Cluster a = MakeConfigA(2);
+  CostModel cost(a);
+  const Bytes act = 26_MiB;  // GNMT boundary traffic (Table I)
+  const TimeSec same_server =
+      cost.CrossStage(DeviceSet::Range(0, 4), DeviceSet::Range(4, 4), act);
+  const TimeSec cross_server =
+      cost.CrossStage(DeviceSet::Range(0, 8), DeviceSet::Range(8, 8), act);
+  EXPECT_LT(same_server, cross_server);
+}
+
+TEST(CostModel, CrossStageParallelizesOverReplicas) {
+  const Cluster b = MakeConfigB(16);
+  CostModel cost(b);
+  const Bytes act = 64_MiB;
+  // 8 senders each ship act/8: faster than 1 sender shipping act.
+  const TimeSec wide =
+      cost.CrossStage(DeviceSet::Range(0, 8), DeviceSet::Range(8, 8), act);
+  const TimeSec narrow =
+      cost.CrossStage(DeviceSet::Range(0, 1), DeviceSet::Range(1, 1), act);
+  EXPECT_LT(wide, narrow);
+}
+
+TEST(CostModel, CrossStageChargesSplitConcatOnlyWhenUnequal) {
+  const Cluster a = MakeConfigA(2);
+  CostModelOptions slow_memcpy;
+  slow_memcpy.memcpy_bandwidth = GBps(10.0);  // make staging visible
+  CostModel cost(a, slow_memcpy);
+  const Bytes act = 64_MiB;
+  const TimeSec equal =
+      cost.CrossStage(DeviceSet::Range(0, 4), DeviceSet::Range(8, 4), act);
+  const TimeSec unequal =
+      cost.CrossStage(DeviceSet::Range(0, 4), DeviceSet::Range(8, 2), act);
+  // Many-to-one needs concat staging AND moves bigger per-endpoint slices.
+  EXPECT_GT(unequal, equal);
+}
+
+TEST(CostModel, CrossStageZeroBytesIsFree) {
+  const Cluster a = MakeConfigA(2);
+  CostModel cost(a);
+  EXPECT_EQ(cost.CrossStage(DeviceSet::Range(0, 1), DeviceSet::Range(1, 1), 0), 0.0);
+}
+
+TEST(CostModel, TableITrafficAsymmetry) {
+  // The paper's Table I motivation: boundary activations are MBs while
+  // gradients are GBs, so the hybrid plan keeps AllReduce on NVLink and
+  // lets only activations cross Ethernet. Verify the cost asymmetry.
+  const Cluster a = MakeConfigA(2);
+  CostModel cost(a);
+  const TimeSec act_cross =
+      cost.CrossStage(DeviceSet::Range(0, 8), DeviceSet::Range(8, 8), 9_MiB);
+  const TimeSec grads_nvlink = cost.AllReduce(DeviceSet::Range(0, 8), MiB(2800));
+  const TimeSec grads_ethernet = cost.AllReduce(
+      DeviceSet({0, 1, 2, 3, 8, 9, 10, 11}), MiB(2800));
+  EXPECT_LT(act_cross, grads_nvlink);
+  EXPECT_LT(grads_nvlink, grads_ethernet);
+}
+
+}  // namespace
+}  // namespace dapple::comm

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace dapple {
+namespace {
+
+TEST(Units, ByteLiteralsAndConversions) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+  EXPECT_EQ(MiB(26.0), 26ull * 1024 * 1024);
+  EXPECT_EQ(GiB(1.5), 3ull * 512 * 1024 * 1024);
+}
+
+TEST(Units, BandwidthConversions) {
+  // 25 Gbps Ethernet = 3.125 GB/s.
+  EXPECT_DOUBLE_EQ(Gbps(25.0), 3.125e9);
+  EXPECT_DOUBLE_EQ(GBps(130.0), 130e9);
+}
+
+TEST(Units, FormatBytesPicksSuffix) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(26_MiB), "26.0MB");
+  EXPECT_EQ(FormatBytes(16_GiB), "16.0GB");
+}
+
+TEST(Units, FormatTimePicksUnit) {
+  EXPECT_EQ(FormatTime(5e-9), "5.0ns");
+  EXPECT_EQ(FormatTime(30e-6), "30.0us");
+  EXPECT_EQ(FormatTime(0.1325), "132.5ms");
+  EXPECT_EQ(FormatTime(2.5), "2.50s");
+}
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    DAPPLE_CHECK(1 == 2) << "context " << 42;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Error, ComparisonMacros) {
+  EXPECT_NO_THROW(DAPPLE_CHECK_GE(2, 2));
+  EXPECT_NO_THROW(DAPPLE_CHECK_LT(1, 2));
+  EXPECT_THROW(DAPPLE_CHECK_GT(1, 2), Error);
+  EXPECT_THROW(DAPPLE_CHECK_EQ(1, 2), Error);
+  EXPECT_THROW(DAPPLE_CHECK_NE(3, 3), Error);
+}
+
+TEST(Stats, RunningStatsMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, EmptyStatsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({10.0}, 0.99), 10.0);
+  EXPECT_THROW(Quantile({}, 0.5), Error);
+  EXPECT_THROW(Quantile({1.0}, 1.5), Error);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(GeometricMean({4.0, 9.0}), 6.0);
+  EXPECT_NEAR(GeometricMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+  EXPECT_THROW(GeometricMean({1.0, -1.0}), Error);
+  EXPECT_THROW(GeometricMean({}), Error);
+}
+
+TEST(Table, RendersAlignedCells) {
+  AsciiTable t({"Model", "Params"});
+  t.AddRow({"BERT-48", "640M"});
+  t.AddSeparator();
+  t.AddRow({"X", "1"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| Model   | Params |"), std::string::npos);
+  EXPECT_NE(out.find("| BERT-48 | 640M   |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 3u);  // 2 rows + separator
+}
+
+TEST(Table, RejectsArityMismatch) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), Error);
+}
+
+TEST(Table, NumericHelpers) {
+  EXPECT_EQ(AsciiTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::Int(-42), "-42");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng rng(42);
+  const auto s1 = rng.Fork();
+  const auto s2 = rng.Fork();
+  EXPECT_NE(s1, s2);
+}
+
+}  // namespace
+}  // namespace dapple

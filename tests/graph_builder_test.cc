@@ -1,0 +1,211 @@
+// Structural tests for the plan -> task-graph transformation (paper SV):
+// task counts, dependency shape, warmup monotonicity, split vs round-robin
+// replication, and memory effect wiring.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "model/zoo.h"
+#include "planner/plan.h"
+#include "runtime/graph_builder.h"
+#include "sim/engine.h"
+#include "topo/cluster.h"
+
+namespace dapple::runtime {
+namespace {
+
+using model::MakeUniformSynthetic;
+using planner::ParallelPlan;
+using planner::StagePlan;
+using topo::DeviceSet;
+
+ParallelPlan MakePlan(const model::ModelProfile& m,
+                      std::vector<std::pair<int, DeviceSet>> splits) {
+  ParallelPlan plan;
+  plan.model = m.name();
+  int begin = 0;
+  for (auto& [end, devices] : splits) {
+    StagePlan s;
+    s.layer_begin = begin;
+    s.layer_end = end;
+    s.devices = devices;
+    plan.stages.push_back(s);
+    begin = end;
+  }
+  return plan;
+}
+
+BuildOptions Opts(long gbs, ScheduleKind kind = ScheduleKind::kDapple) {
+  BuildOptions o;
+  o.global_batch_size = gbs;
+  o.schedule.kind = kind;
+  return o;
+}
+
+TEST(GraphBuilder, TaskCountUnreplicatedPipeline) {
+  const auto m = MakeUniformSynthetic(4, 0.01, 0.02, 1_MiB, 1000, 1);
+  const auto cluster = topo::MakeConfigB(2);
+  const auto plan = MakePlan(m, {{2, DeviceSet::Range(0, 1)}, {4, DeviceSet::Range(1, 1)}});
+  GraphBuilder builder(m, cluster, plan, Opts(8));
+  const BuiltPipeline built = builder.Build();
+  const int m_total = built.num_micro_batches;
+  // Per micro-batch: 2 FW + 2 BW + 1 TXf + 1 TXb; plus 2 APPLY, no AR.
+  EXPECT_EQ(built.graph.num_tasks(), m_total * 6 + 2);
+  EXPECT_EQ(built.micro_batch_size * m_total, 8);
+}
+
+TEST(GraphBuilder, TaskCountReplicatedStage) {
+  const auto m = MakeUniformSynthetic(4, 0.01, 0.02, 1_MiB, 1000, 1);
+  const auto cluster = topo::MakeConfigA(1);
+  const auto plan = MakePlan(m, {{2, DeviceSet::Range(0, 2)}, {4, DeviceSet::Range(2, 1)}});
+  GraphBuilder builder(m, cluster, plan, Opts(8));
+  const BuiltPipeline built = builder.Build();
+  const int m_total = built.num_micro_batches;
+  // Per micro-batch: 3 FW + 3 BW + 2 TX; plus 1 AR + 3 APPLY.
+  EXPECT_EQ(built.graph.num_tasks(), m_total * 8 + 4);
+}
+
+TEST(GraphBuilder, RoundRobinAssignsWholeMicroBatches) {
+  const auto m = MakeUniformSynthetic(2, 0.01, 0.02, 1_MiB, 1000, 1);
+  const auto cluster = topo::MakeConfigA(1);
+  const auto plan = MakePlan(m, {{1, DeviceSet::Range(0, 2)}, {2, DeviceSet::Range(2, 1)}});
+  BuildOptions o = Opts(8);
+  o.replication = ReplicationMode::kRoundRobin;
+  o.micro_batch_size = 2;
+  GraphBuilder builder(m, cluster, plan, o);
+  const BuiltPipeline built = builder.Build();
+  // 4 micro-batches: stage0 has ONE FW per micro-batch (not per replica).
+  int fw_stage0 = 0;
+  for (const auto& t : built.graph.tasks()) {
+    if (t.kind == sim::TaskKind::kForward && t.stage == 0) ++fw_stage0;
+  }
+  EXPECT_EQ(fw_stage0, 4);
+  // Alternating device assignment.
+  for (const auto& t : built.graph.tasks()) {
+    if (t.kind == sim::TaskKind::kForward && t.stage == 0) {
+      EXPECT_EQ(t.device, t.microbatch % 2);
+    }
+  }
+}
+
+TEST(GraphBuilder, WarmupDepthsAreMonotoneNonIncreasing) {
+  const auto bert = model::MakeBert48();
+  const auto cluster = topo::MakeConfigB(4);
+  const auto plan = MakePlan(bert, {{12, DeviceSet::Range(0, 1)},
+                                    {24, DeviceSet::Range(1, 1)},
+                                    {36, DeviceSet::Range(2, 1)},
+                                    {48, DeviceSet::Range(3, 1)}});
+  GraphBuilder builder(bert, cluster, plan, Opts(32));
+  const BuiltPipeline built = builder.Build();
+  ASSERT_EQ(built.warmup_depths.size(), 4u);
+  for (std::size_t i = 1; i < built.warmup_depths.size(); ++i) {
+    EXPECT_LE(built.warmup_depths[i], built.warmup_depths[i - 1]);
+  }
+  EXPECT_EQ(built.warmup_depths.back(), 1);
+}
+
+TEST(GraphBuilder, BuiltGraphsExecuteWithoutDeadlock) {
+  // Cross product of schedules, policies and replication modes on a
+  // replicated pipeline must all reach completion.
+  const auto m = MakeUniformSynthetic(6, 0.01, 0.02, 1_MiB, 1000, 1);
+  const auto cluster = topo::MakeConfigA(1);
+  const auto plan = MakePlan(m, {{2, DeviceSet::Range(0, 2)},
+                                 {4, DeviceSet::Range(2, 4)},
+                                 {6, DeviceSet::Range(6, 2)}});
+  for (auto kind : {ScheduleKind::kDapple, ScheduleKind::kGPipe}) {
+    for (auto warmup : {WarmupPolicy::kPA, WarmupPolicy::kPB}) {
+      for (auto mode : {ReplicationMode::kSplitMicroBatch, ReplicationMode::kRoundRobin}) {
+        BuildOptions o = Opts(16, kind);
+        o.schedule.warmup = warmup;
+        o.replication = mode;
+        GraphBuilder builder(m, cluster, plan, o);
+        const BuiltPipeline built = builder.Build();
+        EXPECT_NO_THROW(sim::Engine::Run(built.graph, built.engine_options))
+            << ToString(kind) << "/" << ToString(warmup) << "/" << ToString(mode);
+      }
+    }
+  }
+}
+
+TEST(GraphBuilder, MemoryEffectsBalance) {
+  // Every byte a FW allocates is freed by its BW: pools end at baseline.
+  const auto m = MakeUniformSynthetic(4, 0.01, 0.02, 1_MiB, 1000, 1);
+  const auto cluster = topo::MakeConfigB(2);
+  const auto plan = MakePlan(m, {{2, DeviceSet::Range(0, 1)}, {4, DeviceSet::Range(1, 1)}});
+  for (bool recompute : {false, true}) {
+    BuildOptions o = Opts(8);
+    o.schedule.recompute = recompute;
+    GraphBuilder builder(m, cluster, plan, o);
+    const BuiltPipeline built = builder.Build();
+    const sim::SimResult r = sim::Engine::Run(built.graph, built.engine_options);
+    for (const auto& pool : r.pools) {
+      EXPECT_EQ(pool.current(), pool.baseline());
+    }
+  }
+}
+
+TEST(GraphBuilder, RecomputeShrinksForwardStash) {
+  const auto bert = model::MakeBert48();
+  const auto cluster = topo::MakeConfigB(2);
+  const auto plan = MakePlan(bert, {{24, DeviceSet::Range(0, 1)},
+                                    {48, DeviceSet::Range(1, 1)}});
+  BuildOptions plain = Opts(16);
+  BuildOptions rc = Opts(16);
+  rc.schedule.recompute = true;
+  const BuiltPipeline b_plain = GraphBuilder(bert, cluster, plan, plain).Build();
+  const BuiltPipeline b_rc = GraphBuilder(bert, cluster, plan, rc).Build();
+  auto fw_alloc = [](const BuiltPipeline& b) {
+    for (const auto& t : b.graph.tasks()) {
+      if (t.kind == sim::TaskKind::kForward && t.stage == 1) return t.alloc_at_start;
+    }
+    return Bytes{0};
+  };
+  EXPECT_LT(fw_alloc(b_rc), fw_alloc(b_plain));
+  EXPECT_GT(fw_alloc(b_rc), 0u);
+}
+
+TEST(GraphBuilder, PoolBaselinesHoldWeightsAndOptimizerState) {
+  const auto bert = model::MakeBert48();
+  const auto cluster = topo::MakeConfigB(2);
+  const auto plan = MakePlan(bert, {{24, DeviceSet::Range(0, 1)},
+                                    {48, DeviceSet::Range(1, 1)}});
+  const BuiltPipeline built = GraphBuilder(bert, cluster, plan, Opts(16)).Build();
+  EXPECT_EQ(built.engine_options.pool_baselines[0], bert.BaselineMemory(0, 24));
+  EXPECT_EQ(built.engine_options.pool_baselines[1], bert.BaselineMemory(24, 48));
+  EXPECT_EQ(built.engine_options.pool_capacities[0], cluster.device().memory);
+}
+
+TEST(GraphBuilder, AllReduceOnlyForReplicatedStages) {
+  const auto m = MakeUniformSynthetic(4, 0.01, 0.02, 1_MiB, 1000, 1);
+  const auto cluster = topo::MakeConfigA(1);
+  const auto plan = MakePlan(m, {{2, DeviceSet::Range(0, 2)}, {4, DeviceSet::Range(2, 1)}});
+  const BuiltPipeline built = GraphBuilder(m, cluster, plan, Opts(8)).Build();
+  int ar_count = 0;
+  for (const auto& t : built.graph.tasks()) {
+    if (t.kind == sim::TaskKind::kAllReduce) {
+      ++ar_count;
+      EXPECT_EQ(t.stage, 0);
+    }
+  }
+  EXPECT_EQ(ar_count, 1);
+}
+
+TEST(GraphBuilder, ExplicitMicroBatchSizeHonored) {
+  const auto m = MakeUniformSynthetic(2, 0.01, 0.02, 0, 0, 1);
+  const auto cluster = topo::MakeConfigB(2);
+  const auto plan = MakePlan(m, {{1, DeviceSet::Range(0, 1)}, {2, DeviceSet::Range(1, 1)}});
+  BuildOptions o = Opts(16);
+  o.micro_batch_size = 2;
+  const BuiltPipeline built = GraphBuilder(m, cluster, plan, o).Build();
+  EXPECT_EQ(built.micro_batch_size, 2);
+  EXPECT_EQ(built.num_micro_batches, 8);
+}
+
+TEST(GraphBuilder, RejectsZeroBatch) {
+  const auto m = MakeUniformSynthetic(2, 0.01, 0.02, 0, 0, 1);
+  const auto cluster = topo::MakeConfigB(2);
+  const auto plan = MakePlan(m, {{2, DeviceSet::Range(0, 1)}});
+  EXPECT_THROW(GraphBuilder(m, cluster, plan, Opts(0)), dapple::Error);
+}
+
+}  // namespace
+}  // namespace dapple::runtime

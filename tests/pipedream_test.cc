@@ -1,0 +1,134 @@
+// Tests for the PipeDream baseline planner (paper SVI-F): min-max stage
+// balancing, straight pipelines on uniform models, and the qualitative
+// contrast with DAPPLE's fewer-stages preference.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "model/zoo.h"
+#include "planner/dp_planner.h"
+#include "planner/pipedream_planner.h"
+#include "topo/cluster.h"
+
+namespace dapple::planner {
+namespace {
+
+using model::MakeUniformSynthetic;
+
+TEST(Pipedream, PlanIsValid) {
+  const auto bert = model::MakeBertLarge();
+  const auto cluster = topo::MakeConfigA(2);
+  PipedreamPlanner planner(bert, cluster);
+  const ParallelPlan plan = planner.Plan();
+  plan.Validate(bert);
+  EXPECT_EQ(plan.num_devices(), cluster.num_devices());
+}
+
+TEST(Pipedream, UniformModelBalancesPerfectly) {
+  // 16 identical layers on 16 flat devices with small activations: the
+  // min-max optimum is the straight pipeline (Table VII: XLNet-36 and
+  // AmoebaNet-36 get "straight" from PipeDream).
+  const auto m = MakeUniformSynthetic(16, 0.010, 0.020, 1000, 1'000'000, 1);
+  const auto cluster = topo::MakeConfigB(16);
+  PipedreamPlanner planner(m, cluster);
+  const ParallelPlan plan = planner.Plan();
+  EXPECT_TRUE(plan.IsStraight());
+  EXPECT_EQ(plan.num_stages(), 16);
+}
+
+TEST(Pipedream, BottleneckIsMinimal) {
+  // Brute force all two-stage splits with all replica splits on a small
+  // instance; PipeDream's plan must achieve the best min-max value.
+  const auto m = MakeUniformSynthetic(4, 0.010, 0.020, 1000, 1'000'000, 1);
+  const auto cluster = topo::MakeConfigB(4);
+  PipedreamPlanner planner(m, cluster);
+  const ParallelPlan plan = planner.Plan();
+  const double got = planner.Bottleneck(plan);
+
+  double best = std::numeric_limits<double>::infinity();
+  // Single stage on all 4.
+  {
+    ParallelPlan p;
+    p.model = m.name();
+    StagePlan s;
+    s.layer_begin = 0;
+    s.layer_end = 4;
+    s.devices = topo::DeviceSet::Range(0, 4);
+    p.stages = {s};
+    best = std::min(best, planner.Bottleneck(p));
+  }
+  for (int split = 1; split < 4; ++split) {
+    for (int r0 = 1; r0 < 4; ++r0) {
+      ParallelPlan p;
+      p.model = m.name();
+      StagePlan s0, s1;
+      s0.layer_begin = 0;
+      s0.layer_end = split;
+      s0.devices = topo::DeviceSet::Range(0, r0);
+      s1.layer_begin = split;
+      s1.layer_end = 4;
+      s1.devices = topo::DeviceSet::Range(r0, 4 - r0);
+      p.stages = {s0, s1};
+      best = std::min(best, planner.Bottleneck(p));
+    }
+  }
+  EXPECT_LE(got, best + 1e-12);
+}
+
+TEST(Pipedream, ReplicatesAroundHeavyLayer) {
+  // One dominant layer amid light ones: the heavy layer's stage gets the
+  // lion's share of devices.
+  auto layers = MakeUniformSynthetic(5, 0.001, 0.002, 1000, 100'000, 1).layers();
+  layers[2].forward_time = 0.100;
+  layers[2].backward_time = 0.200;
+  const model::ModelProfile m("skewed", layers, 1, model::OptimizerKind::kSGD);
+  const auto cluster = topo::MakeConfigB(8);
+  PipedreamPlanner planner(m, cluster);
+  const ParallelPlan plan = planner.Plan();
+  int heavy_stage_devices = 0;
+  for (const StagePlan& s : plan.stages) {
+    if (s.layer_begin <= 2 && 2 < s.layer_end) heavy_stage_devices = s.replication();
+  }
+  EXPECT_GE(heavy_stage_devices, 5);
+}
+
+TEST(Pipedream, ProducesMoreStagesThanDapple) {
+  // The SIV-D contrast: DAPPLE prefers few uneven stages; PipeDream
+  // balances into more stages on uniform models.
+  const auto xlnet = model::MakeXlnet36();
+  const auto cluster = topo::MakeConfigA(2);
+  PipedreamPlanner pd(xlnet, cluster);
+  const ParallelPlan pd_plan = pd.Plan();
+
+  PlannerOptions o;
+  o.global_batch_size = 128;
+  DapplePlanner dapple(xlnet, cluster, o);
+  const PlanResult dapple_plan = dapple.Plan();
+  EXPECT_GE(pd_plan.num_stages(), dapple_plan.plan.num_stages());
+}
+
+TEST(Pipedream, DappleWinsUnderSynchronousEvaluation) {
+  // Fig. 13's headline: evaluating PipeDream's strategy under the
+  // synchronous objective is no better than DAPPLE's own plan.
+  const auto bert = model::MakeBertLarge();
+  const auto cluster = topo::MakeConfigA(2);
+  PlannerOptions o;
+  o.global_batch_size = 128;
+  DapplePlanner dapple(bert, cluster, o);
+  const PlanResult ours = dapple.Plan();
+  const ParallelPlan theirs = PipedreamPlanner(bert, cluster).Plan();
+  const PlanEstimate theirs_eval = dapple.Evaluate(theirs);
+  EXPECT_LE(ours.estimate.latency, theirs_eval.latency * (1 + 1e-9));
+}
+
+TEST(Pipedream, MicroBatchOptionDefaultsToProfile) {
+  const auto bert = model::MakeBert48();
+  const auto cluster = topo::MakeConfigB(4);
+  PipedreamOptions o;
+  o.micro_batch_size = 8;
+  PipedreamPlanner planner(bert, cluster, o);
+  const ParallelPlan plan = planner.Plan();
+  plan.Validate(bert);
+}
+
+}  // namespace
+}  // namespace dapple::planner

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.h"
+#include "model/zoo.h"
+#include "planner/plan_io.h"
+
+namespace dapple::planner {
+namespace {
+
+ParallelPlan SamplePlan() {
+  ParallelPlan plan;
+  plan.model = "BERT-48";
+  StagePlan s0, s1;
+  s0.layer_begin = 0;
+  s0.layer_end = 24;
+  s0.devices = topo::DeviceSet::Range(0, 8);
+  s1.layer_begin = 24;
+  s1.layer_end = 48;
+  s1.devices = topo::DeviceSet({8, 10, 12, 14});
+  plan.stages = {s0, s1};
+  return plan;
+}
+
+TEST(PlanIo, RoundTripPreservesEverything) {
+  const ParallelPlan plan = SamplePlan();
+  const ParallelPlan back = ParsePlan(SerializePlan(plan));
+  EXPECT_EQ(back.model, plan.model);
+  ASSERT_EQ(back.num_stages(), plan.num_stages());
+  for (int i = 0; i < plan.num_stages(); ++i) {
+    EXPECT_EQ(back.stages[static_cast<std::size_t>(i)].layer_begin,
+              plan.stages[static_cast<std::size_t>(i)].layer_begin);
+    EXPECT_EQ(back.stages[static_cast<std::size_t>(i)].layer_end,
+              plan.stages[static_cast<std::size_t>(i)].layer_end);
+    EXPECT_EQ(back.stages[static_cast<std::size_t>(i)].devices,
+              plan.stages[static_cast<std::size_t>(i)].devices);
+  }
+  // Parsed plan validates against the real model.
+  back.Validate(model::MakeBert48());
+}
+
+TEST(PlanIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "model: synthetic-4\n"
+      "\n"
+      "stage: layers 0 4 devices 0 1  # trailing comment\n";
+  const ParallelPlan plan = ParsePlan(text);
+  EXPECT_EQ(plan.model, "synthetic-4");
+  ASSERT_EQ(plan.num_stages(), 1);
+  EXPECT_EQ(plan.stages[0].devices.size(), 2);
+}
+
+TEST(PlanIo, MalformedInputsRejectedWithLineNumbers) {
+  EXPECT_THROW(ParsePlan(""), Error);
+  EXPECT_THROW(ParsePlan("model: x\n"), Error);                       // no stages
+  EXPECT_THROW(ParsePlan("stage: layers 0 4 devices 0\n"), Error);    // no model
+  EXPECT_THROW(ParsePlan("model: x\nbogus: 1\n"), Error);             // directive
+  EXPECT_THROW(ParsePlan("model: x\nstage: layers 0 devices 0\n"), Error);
+  EXPECT_THROW(ParsePlan("model: x\nstage: layers 0 4 devices\n"), Error);
+  try {
+    ParsePlan("model: x\nstage: layers 0 4 gadgets 0\n");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(PlanIo, FileRoundTrip) {
+  const std::string path = "/tmp/dapple_plan_test.txt";
+  SavePlan(path, SamplePlan());
+  const ParallelPlan back = LoadPlan(path);
+  EXPECT_EQ(back.model, "BERT-48");
+  EXPECT_EQ(back.num_stages(), 2);
+  std::remove(path.c_str());
+  EXPECT_THROW(LoadPlan("/no/such/file.plan"), Error);
+  EXPECT_THROW(SavePlan("/no/such/dir/x.plan", SamplePlan()), Error);
+}
+
+}  // namespace
+}  // namespace dapple::planner

@@ -1,0 +1,213 @@
+// Tests for the DAPPLE planner (paper SIV): plan selection on synthetic and
+// calibrated models, memory-driven feasibility, uneven-partition preference
+// (Fig. 7), and agreement with brute force on tiny instances.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "model/zoo.h"
+#include "planner/dp_baseline.h"
+#include "planner/dp_planner.h"
+#include "topo/cluster.h"
+
+namespace dapple::planner {
+namespace {
+
+using model::MakeUniformSynthetic;
+using topo::DeviceSet;
+
+PlannerOptions Opts(long gbs) {
+  PlannerOptions o;
+  o.global_batch_size = gbs;
+  return o;
+}
+
+TEST(Planner, ComputeHeavyModelPrefersDataParallel) {
+  // Tiny weights, big compute: gradient sync is negligible, DP wins.
+  const auto m = MakeUniformSynthetic(8, 0.050, 0.100, 1_MiB, 100'000, 1);
+  const auto cluster = topo::MakeConfigA(1);
+  DapplePlanner planner(m, cluster, Opts(64));
+  const PlanResult result = planner.Plan();
+  EXPECT_TRUE(result.plan.IsDataParallel());
+  EXPECT_GT(result.candidates_evaluated, 10);
+}
+
+TEST(Planner, HeavyGradientsOnSlowNetworkPreferPipeline) {
+  // Huge uniform weights on 10 Gbps: replication means GBs of AllReduce,
+  // so the planner must partition instead.
+  const auto m = MakeUniformSynthetic(8, 0.020, 0.040, 1_MiB, 40'000'000, 1);
+  const auto cluster = topo::MakeConfigC(4);
+  DapplePlanner planner(m, cluster, Opts(64));
+  const PlanResult result = planner.Plan();
+  EXPECT_GT(result.plan.num_stages(), 1);
+}
+
+TEST(Planner, PlanIsValidAndUsesOnlyAvailableDevices) {
+  const auto bert = model::MakeBert48();
+  const auto cluster = topo::MakeConfigA(2);
+  DapplePlanner planner(bert, cluster, Opts(64));
+  const PlanResult result = planner.Plan();
+  result.plan.Validate(bert);
+  EXPECT_LE(result.plan.num_devices(), cluster.num_devices());
+  for (const StagePlan& s : result.plan.stages) {
+    for (topo::DeviceId d : s.devices.devices()) {
+      EXPECT_LT(d, cluster.num_devices());
+    }
+  }
+}
+
+TEST(Planner, Bert48ConfigAMatchesPaperTableV) {
+  // Table V: BERT-48 on 2x8 Config-A plans an 8:8 two-stage pipeline with
+  // a near-even split (23:25) and small ACR (~0.06).
+  const auto bert = model::MakeBert48();
+  const auto cluster = topo::MakeConfigA(2);
+  DapplePlanner planner(bert, cluster, Opts(64));
+  const PlanResult result = planner.Plan();
+  ASSERT_EQ(result.plan.num_stages(), 2);
+  EXPECT_EQ(result.plan.stages[0].replication(), 8);
+  EXPECT_EQ(result.plan.stages[1].replication(), 8);
+  // Each stage sits inside one server (gradients stay on NVLink).
+  EXPECT_TRUE(result.plan.stages[0].devices.SingleServer(cluster));
+  EXPECT_TRUE(result.plan.stages[1].devices.SingleServer(cluster));
+  // Near-even split.
+  EXPECT_NEAR(result.plan.stages[0].num_layers(), 24, 2);
+  EXPECT_LT(result.estimate.acr, 0.2);
+}
+
+TEST(Planner, AmoebaNetPlansPipelineDespiteDpInfeasibility) {
+  // Table V: DP is not available (OOM); the planner must still return a
+  // feasible multi-stage plan.
+  const auto amoeba = model::MakeAmoebaNet36();
+  const auto cluster = topo::MakeConfigA(2);
+  DapplePlanner planner(amoeba, cluster, Opts(128));
+  const PlanResult result = planner.Plan();
+  EXPECT_GT(result.plan.num_stages(), 1);
+  EXPECT_TRUE(result.estimate.feasible);
+  EXPECT_LE(result.estimate.max_peak_memory, cluster.device().memory);
+}
+
+TEST(Planner, UnevenSplitBeatsEvenOnImbalancedModel) {
+  // Fig. 7's insight: for a model whose halves are unequal, the best split
+  // is slightly uneven. GNMT's decoder layers cost 1.45x encoder layers,
+  // so the 16-layer split shifts into the decoder (the paper plans 9:7;
+  // under our calibration the optimum lands at 9-10 encoder-side layers --
+  // never the even 8:8).
+  const auto gnmt = model::MakeGnmt16();
+  const auto cluster = topo::MakeConfigA(2);
+  DapplePlanner planner(gnmt, cluster, Opts(1024));
+
+  // Build the candidate family explicitly: 8:8 devices, split k : 16-k.
+  auto two_stage = [&](int split) {
+    ParallelPlan p;
+    p.model = gnmt.name();
+    StagePlan s0, s1;
+    s0.layer_begin = 0;
+    s0.layer_end = split;
+    s0.devices = DeviceSet::Range(0, 8);
+    s1.layer_begin = split;
+    s1.layer_end = 16;
+    s1.devices = DeviceSet::Range(8, 8);
+    p.stages = {s0, s1};
+    return p;
+  };
+  const PlanEstimate e_even = planner.Evaluate(two_stage(8));
+  const PlanEstimate e_9 = planner.Evaluate(two_stage(9));
+  EXPECT_LT(e_9.latency, e_even.latency);
+
+  // The planner's own choice is an uneven two-stage 8:8 pipeline with the
+  // boundary shifted into the decoder.
+  const PlanResult result = planner.Plan();
+  ASSERT_EQ(result.plan.num_stages(), 2);
+  EXPECT_GE(result.plan.stages[0].num_layers(), 9);
+  EXPECT_LE(result.plan.stages[0].num_layers(), 11);
+}
+
+TEST(Planner, MaxStagesCapRespected) {
+  const auto m = MakeUniformSynthetic(8, 0.02, 0.04, 1_MiB, 40'000'000, 1);
+  const auto cluster = topo::MakeConfigC(8);
+  PlannerOptions o = Opts(64);
+  o.max_stages = 2;
+  DapplePlanner planner(m, cluster, o);
+  const PlanResult result = planner.Plan();
+  EXPECT_LE(result.plan.num_stages(), 2);
+}
+
+TEST(Planner, MatchesBruteForceOnTinyInstance) {
+  // 3 layers, 2 flat devices: enumerate every contiguous partition into 1
+  // or 2 stages by hand and check the planner finds the best latency.
+  const auto m = MakeUniformSynthetic(3, 0.010, 0.020, 8_MiB, 20'000'000, 1);
+  const auto cluster = topo::MakeConfigC(2);
+  DapplePlanner planner(m, cluster, Opts(8));
+  const PlanResult result = planner.Plan();
+
+  double best_brute = std::numeric_limits<double>::infinity();
+  // DP on both devices.
+  {
+    ParallelPlan dp = MakeDataParallelPlan(m, cluster);
+    const auto e = planner.Evaluate(dp);
+    if (e.feasible) best_brute = std::min(best_brute, e.latency);
+  }
+  // Two-stage splits.
+  for (int split = 1; split < 3; ++split) {
+    ParallelPlan p;
+    p.model = m.name();
+    StagePlan s0, s1;
+    s0.layer_begin = 0;
+    s0.layer_end = split;
+    s0.devices = DeviceSet::Range(0, 1);
+    s1.layer_begin = split;
+    s1.layer_end = 3;
+    s1.devices = DeviceSet::Range(1, 1);
+    p.stages = {s0, s1};
+    const auto e = planner.Evaluate(p);
+    if (e.feasible) best_brute = std::min(best_brute, e.latency);
+  }
+  EXPECT_NEAR(result.estimate.latency, best_brute, 1e-12);
+}
+
+TEST(Planner, RequiresGlobalBatch) {
+  const auto m = MakeUniformSynthetic(2, 0.01, 0.02, 0, 0, 1);
+  const auto cluster = topo::MakeConfigB(2);
+  EXPECT_THROW(DapplePlanner(m, cluster, PlannerOptions{}), dapple::Error);
+}
+
+TEST(Planner, ThrowsWhenNothingFits) {
+  // A model so large that even a 16-stage pipeline cannot hold it.
+  const auto huge = MakeUniformSynthetic(4, 0.01, 0.02, 1_MiB,
+                                         2'000'000'000ull, 1,
+                                         model::OptimizerKind::kAdam);
+  const auto cluster = topo::MakeConfigB(2);
+  DapplePlanner planner(huge, cluster, Opts(8));
+  EXPECT_THROW(planner.Plan(), dapple::Error);
+}
+
+TEST(Planner, VggOnSlowNetworkIsolatesFullyConnectedStage) {
+  // SVI-B: on 10 Gbps (Config-C) the planner avoids replicating the fc
+  // weights: the final stage (containing fc6..fc8) stays narrow.
+  const auto vgg = model::MakeVgg19();
+  const auto cluster = topo::MakeConfigC(16);
+  DapplePlanner planner(vgg, cluster, Opts(2048));
+  const PlanResult result = planner.Plan();
+  ASSERT_GT(result.plan.num_stages(), 1);
+  const StagePlan& last = result.plan.stages.back();
+  // The fc tail is not replicated across many machines.
+  EXPECT_LE(last.replication(), 2);
+  // The split keeps the parameter-heavy fc layers in the narrow stage.
+  EXPECT_LE(last.layer_begin, 22);
+  EXPECT_GE(last.layer_begin, 15);
+  // And the hybrid beats data parallelism on this network.
+  const auto dp = EstimateDataParallel(vgg, cluster, 2048, DataParallelVariant::kOverlap);
+  ASSERT_TRUE(dp.feasible);
+  EXPECT_LT(result.estimate.latency, dp.iteration_time);
+}
+
+TEST(Planner, EvaluateMatchesPlanEstimateForChosenPlan) {
+  const auto bert = model::MakeBert48();
+  const auto cluster = topo::MakeConfigA(2);
+  DapplePlanner planner(bert, cluster, Opts(64));
+  const PlanResult result = planner.Plan();
+  const PlanEstimate re = planner.Evaluate(result.plan);
+  EXPECT_NEAR(re.latency, result.estimate.latency, 1e-12);
+}
+
+}  // namespace
+}  // namespace dapple::planner

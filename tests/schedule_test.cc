@@ -1,0 +1,164 @@
+// Tests for the micro-batch schedules (paper SIII / SV-C): warmup depths
+// PA/PB, the early-backward interleave, and the GPipe baseline order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "runtime/schedule.h"
+
+namespace dapple::runtime {
+namespace {
+
+ScheduleOptions Dapple(WarmupPolicy warmup = WarmupPolicy::kPA) {
+  ScheduleOptions o;
+  o.kind = ScheduleKind::kDapple;
+  o.warmup = warmup;
+  return o;
+}
+
+ScheduleOptions GPipe() {
+  ScheduleOptions o;
+  o.kind = ScheduleKind::kGPipe;
+  return o;
+}
+
+TEST(WarmupDepth, PolicyAFormula) {
+  // PA: Ki = min(S - i, D) for 4 stages, M large, no memory limit.
+  EXPECT_EQ(WarmupDepth(Dapple(), 0, 4, 100, 0), 4);
+  EXPECT_EQ(WarmupDepth(Dapple(), 1, 4, 100, 0), 3);
+  EXPECT_EQ(WarmupDepth(Dapple(), 3, 4, 100, 0), 1);
+}
+
+TEST(WarmupDepth, PolicyBFormula) {
+  // PB: Ki = min(2(S - i) - 1, D).
+  EXPECT_EQ(WarmupDepth(Dapple(WarmupPolicy::kPB), 0, 4, 100, 0), 7);
+  EXPECT_EQ(WarmupDepth(Dapple(WarmupPolicy::kPB), 1, 4, 100, 0), 5);
+  EXPECT_EQ(WarmupDepth(Dapple(WarmupPolicy::kPB), 3, 4, 100, 0), 1);
+}
+
+TEST(WarmupDepth, MemoryLimitClamps) {
+  EXPECT_EQ(WarmupDepth(Dapple(WarmupPolicy::kPB), 0, 4, 100, 2), 2);
+  EXPECT_EQ(WarmupDepth(Dapple(), 0, 8, 100, 3), 3);
+}
+
+TEST(WarmupDepth, ClampedByMicroBatchCount) {
+  EXPECT_EQ(WarmupDepth(Dapple(), 0, 8, 2, 0), 2);
+}
+
+TEST(WarmupDepth, GPipeInjectsEverything) {
+  EXPECT_EQ(WarmupDepth(GPipe(), 0, 4, 10, 0), 10);
+  EXPECT_EQ(WarmupDepth(GPipe(), 3, 4, 10, 2), 10);  // GPipe ignores D
+}
+
+TEST(WarmupDepth, ValidatesStageIndex) {
+  EXPECT_THROW(WarmupDepth(Dapple(), 4, 4, 10, 0), dapple::Error);
+  EXPECT_THROW(WarmupDepth(Dapple(), -1, 4, 10, 0), dapple::Error);
+}
+
+// Every order must contain each micro-batch exactly once forward and once
+// backward, with FW m before BW m.
+void CheckValidOrder(const std::vector<ScheduleStep>& order, int m_total) {
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(2 * m_total));
+  std::vector<int> fw_pos(static_cast<std::size_t>(m_total), -1);
+  std::vector<int> bw_pos(static_cast<std::size_t>(m_total), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    auto& slot = order[i].is_backward ? bw_pos : fw_pos;
+    ASSERT_GE(order[i].microbatch, 0);
+    ASSERT_LT(order[i].microbatch, m_total);
+    ASSERT_EQ(slot[static_cast<std::size_t>(order[i].microbatch)], -1);
+    slot[static_cast<std::size_t>(order[i].microbatch)] = static_cast<int>(i);
+  }
+  for (int m = 0; m < m_total; ++m) {
+    EXPECT_LT(fw_pos[static_cast<std::size_t>(m)], bw_pos[static_cast<std::size_t>(m)]);
+  }
+}
+
+TEST(StageOrder, DappleInterleavesAfterWarmup) {
+  // S=2, stage 0, M=6, K=2: F0 F1 B0 F2 B1 F3 B2 F4 B3 F5 B4 B5.
+  const auto order = StageOrder(Dapple(), 0, 2, 6, 0);
+  CheckValidOrder(order, 6);
+  EXPECT_FALSE(order[0].is_backward);
+  EXPECT_FALSE(order[1].is_backward);
+  EXPECT_TRUE(order[2].is_backward);
+  EXPECT_EQ(order[2].microbatch, 0);
+  EXPECT_FALSE(order[3].is_backward);
+  EXPECT_EQ(order[3].microbatch, 2);
+}
+
+TEST(StageOrder, LastStageIsStrict1F1B) {
+  // K = 1 at the last stage: F0 B0 F1 B1 ...
+  const auto order = StageOrder(Dapple(), 1, 2, 4, 0);
+  CheckValidOrder(order, 4);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i].is_backward, i % 2 == 1);
+    EXPECT_EQ(order[i].microbatch, static_cast<int>(i / 2));
+  }
+}
+
+TEST(StageOrder, GPipeAllForwardThenReverseBackward) {
+  const auto order = StageOrder(GPipe(), 0, 3, 4, 0);
+  CheckValidOrder(order, 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(order[static_cast<std::size_t>(i)].is_backward);
+    EXPECT_EQ(order[static_cast<std::size_t>(i)].microbatch, i);
+  }
+  // Backward in LIFO order: 3, 2, 1, 0.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(order[static_cast<std::size_t>(4 + i)].is_backward);
+    EXPECT_EQ(order[static_cast<std::size_t>(4 + i)].microbatch, 3 - i);
+  }
+}
+
+TEST(StageOrder, InFlightNeverExceedsWarmupDepth) {
+  // The defining property of early backward scheduling: at most K
+  // activations are live at any point in the order.
+  for (int stages : {2, 4, 8}) {
+    for (int m_total : {4, 16, 64}) {
+      for (auto policy : {WarmupPolicy::kPA, WarmupPolicy::kPB}) {
+        for (int i = 0; i < stages; ++i) {
+          const int k = WarmupDepth(Dapple(policy), i, stages, m_total, 0);
+          const auto order = StageOrder(Dapple(policy), i, stages, m_total, 0);
+          int live = 0, max_live = 0;
+          for (const ScheduleStep& step : order) {
+            live += step.is_backward ? -1 : 1;
+            max_live = std::max(max_live, live);
+          }
+          EXPECT_EQ(max_live, std::min(k, m_total))
+              << "S=" << stages << " M=" << m_total << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(StageOrder, GPipeInFlightIsM) {
+  const auto order = StageOrder(GPipe(), 0, 4, 16, 0);
+  int live = 0, max_live = 0;
+  for (const ScheduleStep& step : order) {
+    live += step.is_backward ? -1 : 1;
+    max_live = std::max(max_live, live);
+  }
+  EXPECT_EQ(max_live, 16);
+}
+
+TEST(StageOrder, SingleMicroBatchDegenerates) {
+  for (auto kind : {ScheduleKind::kDapple, ScheduleKind::kGPipe}) {
+    ScheduleOptions o;
+    o.kind = kind;
+    const auto order = StageOrder(o, 0, 2, 1, 0);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_FALSE(order[0].is_backward);
+    EXPECT_TRUE(order[1].is_backward);
+  }
+}
+
+TEST(Names, ToStringStable) {
+  EXPECT_STREQ(ToString(ScheduleKind::kDapple), "DAPPLE");
+  EXPECT_STREQ(ToString(ScheduleKind::kGPipe), "GPipe");
+  EXPECT_STREQ(ToString(WarmupPolicy::kPA), "PA");
+  EXPECT_STREQ(ToString(WarmupPolicy::kPB), "PB");
+}
+
+}  // namespace
+}  // namespace dapple::runtime

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace dapple {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);  // count==1 runs inline on the caller
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [](std::size_t i) {
+                                  if (i == 13) throw Error("boom");
+                                }),
+               Error);
+  // Pool still usable afterwards.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(8, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, DeterministicResultSlots) {
+  ThreadPool pool(8);
+  std::vector<double> out(1000);
+  pool.ParallelFor(out.size(), [&](std::size_t i) { out[i] = i * 0.5; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_DOUBLE_EQ(out[i], i * 0.5);
+}
+
+TEST(ThreadPool, SharedPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
+  EXPECT_GE(ThreadPool::Shared().num_threads(), 1u);
+}
+
+TEST(ThreadPool, WaitWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPool, RejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.Submit(nullptr), Error);
+}
+
+}  // namespace
+}  // namespace dapple

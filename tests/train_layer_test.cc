@@ -1,0 +1,204 @@
+// Layer-level correctness: analytic gradients vs finite differences, loss
+// normalization semantics, and optimizer update rules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/layer.h"
+#include "train/model.h"
+#include "train/optimizer.h"
+
+namespace dapple::train {
+namespace {
+
+// Finite-difference check of dLoss/dInput for a single layer, where
+// Loss = sum of outputs (grad_out of all ones).
+void CheckInputGradient(const Layer& layer, const Tensor& input, float tolerance) {
+  Tensor saved;
+  const Tensor out = layer.Forward(input, &saved);
+  Tensor grad_out(out.rows(), out.cols(), 1.0f);
+  LayerGrads grads;
+  const Tensor analytic = layer.Backward(saved, grad_out, &grads);
+
+  const float eps = 1e-3f;
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    for (std::size_t c = 0; c < input.cols(); ++c) {
+      Tensor plus = input, minus = input;
+      plus.at(r, c) += eps;
+      minus.at(r, c) -= eps;
+      double sum_plus = 0, sum_minus = 0;
+      const Tensor op = layer.Forward(plus, nullptr);
+      const Tensor om = layer.Forward(minus, nullptr);
+      for (std::size_t i = 0; i < op.rows(); ++i) {
+        for (std::size_t j = 0; j < op.cols(); ++j) {
+          sum_plus += op.at(i, j);
+          sum_minus += om.at(i, j);
+        }
+      }
+      const float numeric = static_cast<float>((sum_plus - sum_minus) / (2.0 * eps));
+      EXPECT_NEAR(analytic.at(r, c), numeric, tolerance)
+          << layer.kind() << " at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(Layers, LinearInputGradientMatchesFiniteDifference) {
+  Rng rng(11);
+  Linear layer(4, 3, rng);
+  const Tensor input = Tensor::Random(2, 4, rng, 1.0f);
+  CheckInputGradient(layer, input, 2e-2f);
+}
+
+TEST(Layers, LinearWeightGradientMatchesFiniteDifference) {
+  Rng rng(12);
+  Linear layer(3, 2, rng);
+  const Tensor input = Tensor::Random(2, 3, rng, 1.0f);
+  Tensor saved;
+  const Tensor out = layer.Forward(input, &saved);
+  Tensor grad_out(out.rows(), out.cols(), 1.0f);
+  LayerGrads grads;
+  (void)layer.Backward(saved, grad_out, &grads);
+
+  const float eps = 1e-3f;
+  Tensor* w = layer.mutable_weight();
+  for (std::size_t r = 0; r < w->rows(); ++r) {
+    for (std::size_t c = 0; c < w->cols(); ++c) {
+      const float orig = w->at(r, c);
+      w->at(r, c) = orig + eps;
+      double sp = 0;
+      const Tensor op = layer.Forward(input, nullptr);
+      for (std::size_t i = 0; i < op.size(); ++i) sp += op.data()[i];
+      w->at(r, c) = orig - eps;
+      double sm = 0;
+      const Tensor om = layer.Forward(input, nullptr);
+      for (std::size_t i = 0; i < om.size(); ++i) sm += om.data()[i];
+      w->at(r, c) = orig;
+      EXPECT_NEAR(grads.weight.at(r, c), (sp - sm) / (2 * eps), 2e-2f);
+    }
+  }
+}
+
+TEST(Layers, ReluAndTanhGradients) {
+  Rng rng(13);
+  const Tensor input = Tensor::Random(3, 4, rng, 1.0f);
+  CheckInputGradient(Relu(), input, 2e-2f);
+  CheckInputGradient(Tanh(), input, 2e-2f);
+}
+
+TEST(Layers, ReluZeroesNegatives) {
+  Tensor in(1, 3);
+  in.at(0, 0) = -1;
+  in.at(0, 1) = 0;
+  in.at(0, 2) = 2;
+  Tensor saved;
+  const Tensor out = Relu().Forward(in, &saved);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(out.at(0, 2), 2);
+}
+
+TEST(Loss, MseValueAndGradient) {
+  Tensor pred(2, 1), target(2, 1);
+  pred.at(0, 0) = 3;
+  pred.at(1, 0) = 1;
+  target.at(0, 0) = 1;
+  target.at(1, 0) = 1;
+  Tensor grad;
+  // loss = 0.5*(4+0)/2 = 1; grad = (pred-target)/2.
+  const double loss = MseLoss::Compute(pred, target, 2, &grad);
+  EXPECT_DOUBLE_EQ(loss, 1.0);
+  EXPECT_FLOAT_EQ(grad.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(grad.at(1, 0), 0.0f);
+}
+
+TEST(Loss, NormalizationSumsToGlobalMean) {
+  // Two half-batches normalized by the full count must sum to the
+  // full-batch gradient: the algebra behind gradient accumulation.
+  Rng rng(14);
+  const Tensor pred = Tensor::Random(4, 2, rng, 1.0f);
+  const Tensor target = Tensor::Random(4, 2, rng, 1.0f);
+  Tensor g_full;
+  MseLoss::Compute(pred, target, 4, &g_full);
+  Tensor g0, g1;
+  MseLoss::Compute(pred.RowSlice(0, 2), target.RowSlice(0, 2), 4, &g0);
+  MseLoss::Compute(pred.RowSlice(2, 4), target.RowSlice(2, 4), 4, &g1);
+  const Tensor stacked = Tensor::VStack({g0, g1});
+  EXPECT_LT(Tensor::MaxAbsDiff(g_full, stacked), 1e-7f);
+}
+
+TEST(Model, CloneIsDeepAndEquivalent) {
+  Rng rng(15);
+  MlpModel m = MlpModel::MakeMlp(4, 8, 2, 2, rng);
+  MlpModel c = m.Clone();
+  EXPECT_EQ(MaxGradientDiff(ZeroGradients(m), ZeroGradients(c)), 0.0f);
+  // Perturb the clone; the original must not move.
+  c.Params()[0]->at(0, 0) += 1.0f;
+  EXPECT_NE(m.Params()[0]->at(0, 0), c.Params()[0]->at(0, 0));
+}
+
+TEST(Model, ParamsOrderingStable) {
+  Rng rng(16);
+  MlpModel m = MlpModel::MakeMlp(4, 8, 2, 1, rng);
+  // Linear(4->8) + Tanh + Linear(8->2): 4 parameter tensors.
+  const auto params = m.Params();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0]->rows(), 4u);  // first weight
+  EXPECT_EQ(params[1]->rows(), 1u);  // first bias
+  EXPECT_EQ(params[2]->rows(), 8u);  // second weight
+}
+
+TEST(Optimizers, SgdStep) {
+  Rng rng(17);
+  MlpModel m = MlpModel::MakeMlp(2, 2, 1, 1, rng);
+  auto params = m.Params();
+  const float before = params[0]->at(0, 0);
+  GradientVector grads = ZeroGradients(m);
+  grads[0].at(0, 0) = 2.0f;
+  MakeSgd(0.1f)->Step(params, grads);
+  EXPECT_FLOAT_EQ(params[0]->at(0, 0), before - 0.2f);
+}
+
+TEST(Optimizers, MomentumAccumulates) {
+  Rng rng(18);
+  MlpModel m = MlpModel::MakeMlp(2, 2, 1, 1, rng);
+  auto params = m.Params();
+  const float before = params[0]->at(0, 0);
+  GradientVector grads = ZeroGradients(m);
+  grads[0].at(0, 0) = 1.0f;
+  auto opt = MakeMomentum(0.1f, 0.5f);
+  opt->Step(params, grads);
+  opt->Step(params, grads);
+  // Step 1: v=1, delta=-0.1. Step 2: v=1.5, delta=-0.15.
+  EXPECT_NEAR(params[0]->at(0, 0), before - 0.25f, 1e-6f);
+}
+
+TEST(Optimizers, AdamFirstStepIsLrSized) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Rng rng(19);
+  MlpModel m = MlpModel::MakeMlp(2, 2, 1, 1, rng);
+  auto params = m.Params();
+  const float before = params[0]->at(0, 0);
+  GradientVector grads = ZeroGradients(m);
+  grads[0].at(0, 0) = 0.01f;
+  MakeAdam(0.1f)->Step(params, grads);
+  EXPECT_NEAR(params[0]->at(0, 0), before - 0.1f, 1e-3f);
+}
+
+TEST(Optimizers, RmsPropNormalizesScale) {
+  Rng rng(20);
+  MlpModel m = MlpModel::MakeMlp(2, 2, 1, 1, rng);
+  auto params = m.Params();
+  GradientVector small = ZeroGradients(m);
+  GradientVector large = ZeroGradients(m);
+  small[0].at(0, 0) = 0.01f;
+  large[0].at(0, 0) = 100.0f;
+  MlpModel m2 = m.Clone();
+  auto p2 = m2.Params();
+  const float b1 = params[0]->at(0, 0);
+  MakeRmsProp(0.1f)->Step(params, small);
+  MakeRmsProp(0.1f)->Step(p2, large);
+  // Both steps are ~lr / sqrt(1-decay) regardless of gradient magnitude.
+  EXPECT_NEAR(params[0]->at(0, 0) - b1, p2[0]->at(0, 0) - b1, 1e-3f);
+}
+
+}  // namespace
+}  // namespace dapple::train

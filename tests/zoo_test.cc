@@ -1,0 +1,225 @@
+// Calibration tests: the model zoo must reproduce every quantitative claim
+// the paper makes about the benchmark models (Tables I, II, VIII and the
+// §VI-B/C prose), since the planner's decisions are functions of exactly
+// these vectors.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "model/zoo.h"
+#include "planner/dp_planner.h"
+#include "topo/cluster.h"
+
+namespace dapple::model {
+namespace {
+
+TEST(Zoo, TableIIParamCounts) {
+  EXPECT_NEAR(MakeGnmt16().TotalParamCount() / 1e6, 291, 2);
+  EXPECT_NEAR(MakeBert48().TotalParamCount() / 1e6, 640, 2);
+  EXPECT_NEAR(MakeXlnet36().TotalParamCount() / 1e6, 500, 2);
+  EXPECT_NEAR(MakeResnet50().TotalParamCount() / 1e6, 24.5, 0.5);
+  EXPECT_NEAR(MakeVgg19().TotalParamCount() / 1e6, 137, 2);
+  EXPECT_NEAR(MakeAmoebaNet36().TotalParamCount() / 1e6, 933, 2);
+}
+
+TEST(Zoo, TableIGradientSizes) {
+  // fp32 gradients; paper's Table I "Gradient Size" column.
+  EXPECT_NEAR(MakeGnmt16().TotalParamBytes() / kGiB, 1.1, 0.1);
+  EXPECT_NEAR(MakeBert48().TotalParamBytes() / kGiB, 2.4, 0.5);
+  EXPECT_NEAR(MakeXlnet36().TotalParamBytes() / kGiB, 1.9, 0.3);
+  EXPECT_NEAR(MakeAmoebaNet36().TotalParamBytes() / kGiB, 3.5, 0.4);
+  EXPECT_NEAR(MakeVgg19().TotalParamBytes() / kMiB, 550, 30);
+}
+
+TEST(Zoo, TableIBoundaryActivations) {
+  // Activation size at partition boundaries at the profile micro-batch.
+  const ModelProfile gnmt = MakeGnmt16();
+  EXPECT_NEAR(gnmt.ActivationAt(8, 64) / kMiB, 26, 1);
+  const ModelProfile bert = MakeBert48();
+  EXPECT_NEAR(bert.ActivationAt(24, 2) / kMiB, 8.8, 0.2);
+  const ModelProfile xlnet = MakeXlnet36();
+  EXPECT_NEAR(xlnet.ActivationAt(18, 1) / kMiB, 4.2, 0.2);
+  const ModelProfile amoeba = MakeAmoebaNet36();
+  EXPECT_NEAR(amoeba.ActivationAt(24, 1) / kMiB, 11.2, 0.3);
+}
+
+TEST(Zoo, GnmtEncoderDecoderImbalance) {
+  // §VI-B: per-layer workloads of encoder vs decoder are ~1:1.45, which
+  // pushes the 16-device split to 9:7.
+  const ModelProfile gnmt = MakeGnmt16();
+  const TimeSec enc = gnmt.layer(0).forward_time;
+  const TimeSec dec = gnmt.layer(8).forward_time;
+  EXPECT_NEAR(dec / enc, 1.45, 0.01);
+  EXPECT_EQ(gnmt.num_layers(), 16);
+  EXPECT_EQ(gnmt.optimizer(), OptimizerKind::kAdam);
+}
+
+TEST(Zoo, BertLayersAreUniform) {
+  const ModelProfile bert = MakeBert48();
+  EXPECT_EQ(bert.num_layers(), 48);
+  for (int i = 1; i < 48; ++i) {
+    EXPECT_DOUBLE_EQ(bert.layer(i).forward_time, bert.layer(0).forward_time);
+    EXPECT_EQ(bert.layer(i).param_count, bert.layer(0).param_count);
+  }
+}
+
+TEST(Zoo, BertWeakScalingSizes) {
+  // Table VIII: BERT-48 640M -> 10.2GB with Adam (16 B/param);
+  // BERT-106 1.4B; BERT-215 2.9B; BERT-428 5.7B.
+  EXPECT_NEAR(MakeBert(48).BaselineMemory(0, 48) / 1e9, 10.2, 0.5);
+  EXPECT_NEAR(MakeBert(106).TotalParamCount() / 1e9, 1.4, 0.1);
+  EXPECT_NEAR(MakeBert(215).TotalParamCount() / 1e9, 2.9, 0.2);
+  EXPECT_NEAR(MakeBert(428).TotalParamCount() / 1e9, 5.7, 0.3);
+}
+
+TEST(Zoo, VggWeightsConcentrateInFullyConnectedTail) {
+  // §VI-C: ~70% of VGG-19's weights (about 400MB) sit in one fc layer and
+  // boundary activations decay from 384MB to 3MB at micro-batch 32.
+  const ModelProfile vgg = MakeVgg19();
+  EXPECT_EQ(vgg.num_layers(), 25);
+  std::uint64_t max_layer_params = 0;
+  for (int i = 0; i < vgg.num_layers(); ++i) {
+    max_layer_params = std::max(max_layer_params, vgg.layer(i).param_count);
+  }
+  EXPECT_NEAR(static_cast<double>(max_layer_params) / vgg.TotalParamCount(), 0.70, 0.03);
+  EXPECT_NEAR(vgg.ActivationAt(1, 32) / kMiB, 384, 5);
+  EXPECT_NEAR(vgg.ActivationAt(22, 32) / kMiB, 3, 0.5);  // conv/fc boundary
+  // Activations are (weakly) decreasing along the feature extractor.
+  for (int b = 2; b <= 22; ++b) {
+    EXPECT_LE(vgg.ActivationAt(b, 32), vgg.ActivationAt(b - 1, 32));
+  }
+}
+
+TEST(Zoo, VggComputeLivesInConvolutions) {
+  const ModelProfile vgg = MakeVgg19();
+  const TimeSec conv = vgg.ForwardTime(0, 22, 32);
+  const TimeSec fc = vgg.ForwardTime(22, 25, 32);
+  EXPECT_GT(conv, 10 * fc);
+}
+
+TEST(Zoo, AmoebaNetParamAndComputeDistribution) {
+  // §VI-C: last third holds 73% of parameters; per-cell compute ramps up
+  // by at most 40%.
+  const ModelProfile amoeba = MakeAmoebaNet36();
+  EXPECT_EQ(amoeba.num_layers(), 36);
+  const double last_third = static_cast<double>(amoeba.ParamCount(24, 36));
+  EXPECT_NEAR(last_third / amoeba.TotalParamCount(), 0.73, 0.01);
+  const TimeSec first = amoeba.layer(0).forward_time;
+  const TimeSec last = amoeba.layer(35).forward_time;
+  EXPECT_NEAR(last / first, 1.4, 0.01);
+  for (int i = 1; i < 36; ++i) {
+    EXPECT_GE(amoeba.layer(i).forward_time, amoeba.layer(i - 1).forward_time);
+  }
+  EXPECT_EQ(amoeba.optimizer(), OptimizerKind::kRMSProp);
+}
+
+TEST(Zoo, ResnetIsSmallAndComputeDense) {
+  const ModelProfile resnet = MakeResnet50();
+  // ~100MB of weights but comparable compute to VGG: high
+  // compute-to-communication density favours DP (Table V).
+  EXPECT_LT(resnet.TotalParamBytes(), MiB(120));
+  EXPECT_GT(resnet.ForwardTime(0, resnet.num_layers(), 128), 0.05);
+  EXPECT_EQ(resnet.optimizer(), OptimizerKind::kSGD);
+}
+
+TEST(Zoo, BertLargeMatchesTableVIIShape) {
+  const ModelProfile bl = MakeBertLarge();
+  EXPECT_EQ(bl.num_layers(), 26);  // Table VII indices 0..26
+  EXPECT_NEAR(bl.TotalParamCount() / 1e6, 335, 10);
+  // Embedding is parameter-heavy but compute-light vs an encoder.
+  EXPECT_GT(bl.layer(0).param_count, bl.layer(1).param_count);
+  EXPECT_LT(bl.layer(0).forward_time, bl.layer(1).forward_time);
+}
+
+TEST(Zoo, ProfileMicroBatchesMatchTableII) {
+  EXPECT_EQ(MakeGnmt16().profile_micro_batch(), 64);
+  EXPECT_EQ(MakeBert48().profile_micro_batch(), 2);
+  EXPECT_EQ(MakeXlnet36().profile_micro_batch(), 1);
+  EXPECT_EQ(MakeResnet50().profile_micro_batch(), 128);
+  EXPECT_EQ(MakeVgg19().profile_micro_batch(), 32);
+  EXPECT_EQ(MakeAmoebaNet36().profile_micro_batch(), 1);
+}
+
+TEST(Zoo, LookupByName) {
+  EXPECT_EQ(ModelByName("BERT-48").name(), "BERT-48");
+  EXPECT_EQ(ModelByName("VGG-19").name(), "VGG-19");
+  EXPECT_EQ(ModelByName("BERT-Large").name(), "BERT-Large");
+  EXPECT_THROW(ModelByName("GPT-3"), dapple::Error);
+  EXPECT_EQ(AllBenchmarkModels().size(), 6u);
+}
+
+TEST(Zoo, UniformSyntheticHelper) {
+  const ModelProfile m = MakeUniformSynthetic(4, 0.01, 0.02, 100, 1000);
+  EXPECT_EQ(m.num_layers(), 4);
+  EXPECT_EQ(m.TotalParamCount(), 4000u);
+  EXPECT_DOUBLE_EQ(m.ForwardTime(0, 4, 1.0), 0.04);
+}
+
+}  // namespace
+}  // namespace dapple::model
+
+// -- appended: parameterized transformer generator ------------------------
+
+namespace dapple::model {
+namespace {
+
+TEST(Transformer, ParameterCountMatchesClosedForm) {
+  TransformerSpec spec;
+  spec.layers = 24;
+  spec.hidden = 1024;
+  const ModelProfile m = MakeTransformer(spec);
+  // ~12 h^2 per layer: 24 * 12 * 1024^2 ~ 302M.
+  EXPECT_NEAR(m.TotalParamCount() / 1e6, 302, 5);
+  EXPECT_EQ(m.num_layers(), 24);
+}
+
+TEST(Transformer, ScalesQuadraticallyInHidden) {
+  TransformerSpec small, big;
+  small.hidden = 512;
+  big.hidden = 1024;
+  const ModelProfile ms = MakeTransformer(small);
+  const ModelProfile mb = MakeTransformer(big);
+  EXPECT_NEAR(static_cast<double>(mb.TotalParamCount()) / ms.TotalParamCount(), 4.0, 0.1);
+  // Compute also grows ~quadratically (diluted by fixed launch overhead
+  // and the seq*h attention term).
+  const double ratio = mb.ForwardTime(0, 24, 2) / ms.ForwardTime(0, 24, 2);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 4.1);
+}
+
+TEST(Transformer, FasterDeviceShortensTime) {
+  TransformerSpec slow, fast;
+  fast.device_teraflops = 30.0;
+  const TimeSec t_slow = MakeTransformer(slow).ForwardTime(0, 24, 2);
+  const TimeSec t_fast = MakeTransformer(fast).ForwardTime(0, 24, 2);
+  EXPECT_LT(t_fast, t_slow);
+}
+
+TEST(Transformer, PlannableEndToEnd) {
+  TransformerSpec spec;
+  spec.layers = 32;
+  spec.hidden = 2048;  // ~1.6B params: needs pipelining on 16GB
+  const ModelProfile m = MakeTransformer(spec);
+  EXPECT_GT(m.BaselineMemory(0, 32), 16ull << 30);
+  const topo::Cluster cluster = topo::MakeConfigA(2);
+  // Just verify a plan exists and is valid via the public flow.
+  planner::LatencyOptions lo;
+  planner::PlannerOptions po;
+  po.global_batch_size = 32;
+  po.max_stages = 4;
+  planner::DapplePlanner planner(m, cluster, po);
+  const auto result = planner.Plan();
+  result.plan.Validate(m);
+  EXPECT_GT(result.plan.num_stages(), 1);  // DP impossible
+}
+
+TEST(Transformer, RejectsBadSpecs) {
+  TransformerSpec bad;
+  bad.layers = 0;
+  EXPECT_THROW(MakeTransformer(bad), dapple::Error);
+  bad.layers = 2;
+  bad.device_teraflops = 0;
+  EXPECT_THROW(MakeTransformer(bad), dapple::Error);
+}
+
+}  // namespace
+}  // namespace dapple::model

@@ -1,0 +1,161 @@
+// dapple — command-line front end for the library.
+//
+//   dapple zoo
+//       List the calibrated benchmark models (paper Table II).
+//   dapple plan <model> <config A|B|C> <servers> <gbs> [--save FILE]
+//       Run the planner and print (optionally save) the chosen plan.
+//   dapple run <model> <config> <servers> <gbs>
+//              [--plan FILE] [--schedule dapple|gpipe] [--recompute]
+//              [--gantt] [--trace FILE.json]
+//       Execute one iteration on the simulated cluster; optionally render
+//       an ASCII Gantt chart or export a chrome://tracing JSON file.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "dapple/dapple.h"
+#include "sim/chrome_trace.h"
+
+using namespace dapple;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dapple zoo\n"
+               "  dapple plan <model> <A|B|C> <servers> <gbs> [--save FILE]\n"
+               "  dapple run  <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
+               "              [--schedule dapple|gpipe] [--recompute] [--gantt]\n"
+               "              [--trace FILE.json]\n");
+  return 2;
+}
+
+topo::Cluster ClusterFor(char config, int servers) {
+  return topo::MakeConfig(config, servers);
+}
+
+int CmdZoo() {
+  AsciiTable table({"Model", "Layers", "Params", "Optimizer", "Profile batch"});
+  for (const model::ModelProfile& m : model::AllBenchmarkModels()) {
+    table.AddRow({m.name(), AsciiTable::Int(m.num_layers()),
+                  AsciiTable::Num(m.TotalParamCount() / 1e6, 1) + "M",
+                  model::ToString(m.optimizer()), AsciiTable::Int(m.profile_micro_batch())});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int CmdPlan(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const model::ModelProfile m = model::ModelByName(argv[0]);
+  const topo::Cluster cluster = ClusterFor(argv[1][0], std::atoi(argv[2]));
+  const long gbs = std::atol(argv[3]);
+  std::string save_path;
+  for (int i = 4; i + 1 < argc + 1; ++i) {
+    if (i < argc && std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_path = argv[i + 1];
+    }
+  }
+
+  Session session(m, cluster);
+  const auto planned = session.Plan(gbs);
+  std::printf("plan: %s (split %s), estimated latency %s, ACR %.2f\n",
+              planned.plan.ToString().c_str(), planned.plan.SplitString().c_str(),
+              FormatTime(planned.estimate.latency).c_str(), planned.estimate.acr);
+  std::printf("%s", planned.plan.ToDetailedString().c_str());
+  if (!save_path.empty()) {
+    planner::SavePlan(save_path, planned.plan);
+    std::printf("saved to %s\n", save_path.c_str());
+  }
+  return 0;
+}
+
+int CmdRun(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const model::ModelProfile m = model::ModelByName(argv[0]);
+  const topo::Cluster cluster = ClusterFor(argv[1][0], std::atoi(argv[2]));
+  const long gbs = std::atol(argv[3]);
+
+  std::string plan_path, trace_path;
+  runtime::BuildOptions options;
+  options.global_batch_size = gbs;
+  bool gantt = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
+      plan_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
+      const std::string kind = argv[++i];
+      options.schedule.kind = kind == "gpipe" ? runtime::ScheduleKind::kGPipe
+                                              : runtime::ScheduleKind::kDapple;
+    } else if (std::strcmp(argv[i], "--recompute") == 0) {
+      options.schedule.recompute = true;
+    } else if (std::strcmp(argv[i], "--gantt") == 0) {
+      gantt = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  Session session(m, cluster);
+  planner::ParallelPlan plan;
+  if (!plan_path.empty()) {
+    plan = planner::LoadPlan(plan_path);
+    plan.Validate(m);
+  } else {
+    plan = session.Plan(gbs).plan;
+  }
+
+  runtime::PipelineExecutor executor(m, cluster, plan, options);
+  const runtime::ExecutionDetail detail = executor.RunDetailed();
+  const runtime::IterationReport& r = detail.report;
+  std::printf("plan %s (split %s) under %s schedule%s\n", plan.ToString().c_str(),
+              plan.SplitString().c_str(), runtime::ToString(options.schedule.kind),
+              options.schedule.recompute ? " + recompute" : "");
+  std::printf("latency %s | throughput %.2f samples/s | speedup %.2fx\n",
+              FormatTime(r.pipeline_latency).c_str(), r.throughput, r.speedup);
+  std::printf("peak memory avg %s max %s%s | utilization %.0f%% | M=%d x mbs=%d\n",
+              FormatBytes(r.avg_peak_memory).c_str(), FormatBytes(r.max_peak_memory).c_str(),
+              r.oom ? " (OOM!)" : "", 100 * r.avg_device_utilization,
+              r.num_micro_batches, r.micro_batch_size);
+  AsciiTable stages({"Stage", "FW busy", "BW busy", "AllReduce", "Inbound TX", "Util"});
+  for (const runtime::StageStats& s : r.stage_stats) {
+    stages.AddRow({AsciiTable::Int(s.stage), FormatTime(s.forward_busy),
+                   FormatTime(s.backward_busy), FormatTime(s.allreduce_time),
+                   FormatTime(s.inbound_transfer),
+                   AsciiTable::Int(static_cast<int>(100 * s.utilization)) + "%"});
+  }
+  std::printf("%s", stages.ToString().c_str());
+
+  if (gantt) {
+    std::printf("%s", sim::RenderGantt(detail.pipeline.graph, detail.result, 100).c_str());
+  }
+  if (!trace_path.empty()) {
+    sim::WriteChromeTrace(trace_path, detail.pipeline.graph, detail.result);
+    std::printf("chrome trace written to %s (open in chrome://tracing)\n",
+                trace_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  try {
+    if (std::strcmp(argv[1], "zoo") == 0) return CmdZoo();
+    if (std::strcmp(argv[1], "plan") == 0) return CmdPlan(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "run") == 0) return CmdRun(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
