@@ -1,0 +1,227 @@
+#include "check/fuzz.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "planner/dp_planner.h"
+#include "planner/latency.h"
+#include "sim/engine.h"
+#include "topo/device_set.h"
+
+namespace dapple::check {
+
+namespace {
+
+model::ModelProfile RandomModel(Rng& rng) {
+  const int layers = static_cast<int>(rng.UniformInt(2, 12));
+  std::vector<model::LayerProfile> list;
+  list.reserve(static_cast<std::size_t>(layers));
+  for (int i = 0; i < layers; ++i) {
+    model::LayerProfile l;
+    l.name = "l" + std::to_string(i);
+    l.forward_time = rng.Uniform(0.001, 0.05);
+    l.backward_time = l.forward_time * rng.Uniform(1.5, 2.5);
+    l.fixed_overhead = rng.Uniform(0.0, 0.001);
+    l.output_activation = static_cast<Bytes>(rng.UniformInt(0, 32)) * 1_MiB;
+    l.activation_memory = l.output_activation * 2 + 1_KiB;
+    l.param_count = static_cast<std::uint64_t>(rng.UniformInt(0, 20'000'000));
+    list.push_back(std::move(l));
+  }
+  const auto optimizer = static_cast<model::OptimizerKind>(rng.UniformInt(0, 2));
+  return model::ModelProfile("fuzz", std::move(list),
+                             static_cast<int>(rng.UniformInt(1, 4)), optimizer);
+}
+
+topo::Cluster RandomCluster(Rng& rng) {
+  topo::Cluster cluster = [&] {
+    switch (rng.UniformInt(0, 3)) {
+      case 0: return topo::MakeConfigA(1);  // 8 devices, NVLink inside
+      case 1: return topo::MakeConfigB(static_cast<int>(rng.UniformInt(2, 4)));
+      case 2: return topo::MakeConfigC(static_cast<int>(rng.UniformInt(2, 4)));
+      default:  // two small multi-GPU servers: placement policies diverge
+        return topo::Cluster("fuzz-2x2", 2, 2, topo::DeviceSpec{},
+                             topo::InterconnectSpec{});
+    }
+  }();
+  if (rng.Bernoulli(0.25)) {
+    std::vector<double> speeds(static_cast<std::size_t>(cluster.num_servers()));
+    for (double& s : speeds) s = rng.Uniform(0.5, 1.0);
+    cluster = cluster.WithServerSpeeds(std::move(speeds));
+  }
+  return cluster;
+}
+
+planner::ParallelPlan RandomPlan(Rng& rng, const model::ModelProfile& m,
+                                 const topo::Cluster& cluster) {
+  const int max_stages =
+      std::min({m.num_layers(), cluster.num_devices(), 4});
+  const int stages = static_cast<int>(rng.UniformInt(1, max_stages));
+  std::vector<int> splits = {0, m.num_layers()};
+  while (static_cast<int>(splits.size()) < stages + 1) {
+    const int s = static_cast<int>(rng.UniformInt(1, m.num_layers() - 1));
+    if (std::find(splits.begin(), splits.end(), s) == splits.end()) splits.push_back(s);
+  }
+  std::sort(splits.begin(), splits.end());
+  planner::ParallelPlan plan;
+  plan.model = m.name();
+  int next_dev = 0;
+  for (std::size_t i = 0; i + 1 < splits.size(); ++i) {
+    const int remaining_stages = static_cast<int>(splits.size() - 2 - i);
+    const int available = cluster.num_devices() - next_dev - remaining_stages;
+    const int r = static_cast<int>(rng.UniformInt(1, std::max(1, std::min(available, 4))));
+    planner::StagePlan sp;
+    sp.layer_begin = splits[i];
+    sp.layer_end = splits[i + 1];
+    sp.devices = topo::DeviceSet::Range(next_dev, r);
+    next_dev += r;
+    plan.stages.push_back(std::move(sp));
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::string FuzzCase::Describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " model=" << model.num_layers() << "L/pmb"
+     << model.profile_micro_batch() << " cluster=" << cluster.name() << "("
+     << cluster.num_devices() << ") plan=" << plan.ToString() << " gbs="
+     << options.global_batch_size << " " << runtime::ToString(options.schedule.kind) << "/"
+     << runtime::ToString(options.schedule.warmup)
+     << (options.schedule.recompute ? "/recompute" : "");
+  if (options.schedule.warmup_override > 0) {
+    os << "/K=" << options.schedule.warmup_override;
+  }
+  os << " " << runtime::ToString(options.replication)
+     << (options.enforce_memory_capacity ? " capped" : " uncapped");
+  return os.str();
+}
+
+FuzzCase MakeFuzzCase(std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull);
+  model::ModelProfile model = RandomModel(rng);
+  topo::Cluster cluster = RandomCluster(rng);
+
+  runtime::BuildOptions options;
+  options.global_batch_size =
+      rng.UniformInt(1, 6) * 4 * model.profile_micro_batch();
+  options.schedule.kind = rng.Bernoulli(0.5) ? runtime::ScheduleKind::kDapple
+                                             : runtime::ScheduleKind::kGPipe;
+  options.schedule.warmup = rng.Bernoulli(0.5) ? runtime::WarmupPolicy::kPA
+                                               : runtime::WarmupPolicy::kPB;
+  options.schedule.recompute = rng.Bernoulli(0.3);
+  if (rng.Bernoulli(0.2)) {
+    options.schedule.warmup_override = static_cast<int>(rng.UniformInt(1, 3));
+  }
+  options.replication = rng.Bernoulli(0.7) ? runtime::ReplicationMode::kSplitMicroBatch
+                                           : runtime::ReplicationMode::kRoundRobin;
+  options.enforce_memory_capacity = rng.Bernoulli(0.5);
+  options.overlap_allreduce = rng.Bernoulli(0.5);
+
+  // Most seeds exercise arbitrary hand-rolled plans; every seventh runs the
+  // real planner so its output is differentially validated too.
+  planner::ParallelPlan plan;
+  bool planned = false;
+  if (seed % 7 == 0 && cluster.num_devices() <= 4) {
+    try {
+      planner::PlannerOptions po;
+      po.global_batch_size = options.global_batch_size;
+      po.latency.check_memory = false;
+      po.keep_alternatives = 0;
+      plan = planner::DapplePlanner(model, cluster, po).Plan().plan;
+      planned = true;
+    } catch (const Error&) {
+      // Fall through to a random plan; infeasibility is not a fuzz failure.
+    }
+  }
+  if (!planned) plan = RandomPlan(rng, model, cluster);
+
+  return FuzzCase{seed, std::move(model), std::move(cluster), std::move(plan),
+                  std::move(options)};
+}
+
+std::string FuzzOutcome::Summary() const {
+  if (ok()) return "";
+  std::ostringstream os;
+  os << "fuzz case failed (reproduce with seed " << seed << "):\n";
+  if (!report.ok()) os << report.ToString();
+  if (!latency_bracketed) {
+    os << "  analytic latency " << analytic_latency << " vs simulated makespan "
+       << simulated_makespan
+       << " outside the tolerance bracket (see check/fuzz.h)\n";
+  }
+  if (!peak_independent) {
+    os << "  DAPPLE peak memory depends on M: " << peak_at_m << " B at M vs " << peak_at_2m
+       << " B at 2M\n";
+  }
+  return os.str();
+}
+
+FuzzOutcome RunFuzzCase(const FuzzCase& c) {
+  FuzzOutcome out;
+  out.seed = c.seed;
+  try {
+    runtime::GraphBuilder builder(c.model, c.cluster, c.plan, c.options);
+    const runtime::BuiltPipeline built = builder.Build();
+    const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+    out.num_tasks = built.graph.num_tasks();
+    out.simulated_makespan = result.makespan;
+
+    ScheduleValidator validator(c.plan, c.options);
+    out.report = validator.Validate(built, result);
+
+    // Differential 1: the analytic estimator models the split-mode DAPPLE
+    // schedule with policy warmup depths; on that family its latency must
+    // bracket the simulated makespan.
+    if (c.options.schedule.kind == runtime::ScheduleKind::kDapple &&
+        c.options.replication == runtime::ReplicationMode::kSplitMicroBatch &&
+        c.options.schedule.warmup_override == 0) {
+      planner::LatencyOptions lo;
+      lo.check_memory = false;
+      lo.overlap_allreduce = c.options.overlap_allreduce;
+      lo.recompute = c.options.schedule.recompute;
+      lo.recompute_overhead = c.options.schedule.recompute_overhead;
+      const planner::LatencyEstimator estimator(c.model, c.cluster, lo);
+      const planner::PlanEstimate e =
+          estimator.Estimate(c.plan, c.options.global_batch_size);
+      out.checked_latency = true;
+      out.analytic_latency = e.latency;
+      const double over = c.plan.num_stages() == 1 ? kAnalyticOverSimTolerance
+                                                   : kAnalyticOverSimCommTolerance;
+      out.latency_bracketed = e.latency <= result.makespan * over + 1e-12 &&
+                              result.makespan <= e.latency * kSimOverAnalyticTolerance + 1e-12;
+    }
+
+    // Differential 2: with the DAPPLE schedule, peak pool memory is O(K),
+    // not O(M) — doubling the micro-batch count at a fixed micro-batch size
+    // must leave every peak unchanged. Only meaningful when no warmup depth
+    // is clamped by M itself (then K would legitimately grow with M).
+    const int max_warmup = built.warmup_depths.empty()
+                               ? 0
+                               : *std::max_element(built.warmup_depths.begin(),
+                                                   built.warmup_depths.end());
+    if (c.options.schedule.kind == runtime::ScheduleKind::kDapple &&
+        built.num_micro_batches >= 2 && max_warmup < built.num_micro_batches) {
+      runtime::BuildOptions doubled = c.options;
+      doubled.micro_batch_size = built.micro_batch_size;
+      doubled.global_batch_size = static_cast<long>(built.micro_batch_size) *
+                                  built.num_micro_batches * 2;
+      const runtime::BuiltPipeline built2 =
+          runtime::GraphBuilder(c.model, c.cluster, c.plan, doubled).Build();
+      const sim::SimResult result2 = sim::Engine::Run(built2.graph, built2.engine_options);
+      out.checked_peak = true;
+      out.peak_at_m = result.MaxPeakMemory();
+      out.peak_at_2m = result2.MaxPeakMemory();
+      out.peak_independent = out.peak_at_m == out.peak_at_2m;
+    }
+  } catch (const std::exception& e) {
+    out.report.violations.push_back(
+        {"exception", std::string("build/simulate threw: ") + e.what()});
+  }
+  return out;
+}
+
+}  // namespace dapple::check

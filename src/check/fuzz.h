@@ -1,0 +1,93 @@
+// Seeded randomized differential-testing harness. Generates random
+// (model, cluster, plan, schedule) configurations, runs the full
+// planner → graph_builder → engine stack, and pins the three layers against
+// each other:
+//
+//   - the ScheduleValidator's invariant set must pass on every valid
+//     configuration;
+//   - the analytic latency (planner/latency.cc) must bracket the simulated
+//     makespan within the stated tolerances;
+//   - the DAPPLE schedule's peak activation memory must not change when the
+//     micro-batch count doubles (the paper's O(K)-not-O(M) claim, §III).
+//
+// Everything derives from one 64-bit seed, so any failure reproduces from
+// the seed printed in its summary (`dapple_fuzz --repro SEED`, or
+// DAPPLE_FUZZ_SEED for the gtest harness).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/validator.h"
+#include "model/profile.h"
+#include "planner/plan.h"
+#include "runtime/graph_builder.h"
+#include "topo/cluster.h"
+
+namespace dapple::check {
+
+/// Analytic latency may exceed the simulated makespan by at most 10% on
+/// single-stage (pure DP) plans, where the estimator ignores only launch
+/// overheads and bubbles.
+inline constexpr double kAnalyticOverSimTolerance = 1.10;
+/// Multi-stage plans add cross-stage transfers, which the estimator models
+/// as one serial comm stage (forward + backward on one lane) while the
+/// simulator gives each direction its own channel — up to a factor-2
+/// duplex pessimism on comm-bound plans, plus the 10% above.
+inline constexpr double kAnalyticOverSimCommTolerance = 2.25;
+/// The simulated makespan may exceed the analytic latency by at most this
+/// factor (bubbles, transfers serialized on channels, the weight update).
+inline constexpr double kSimOverAnalyticTolerance = 4.0;
+
+/// One generated configuration. Aggregate-constructed by MakeFuzzCase.
+struct FuzzCase {
+  std::uint64_t seed;
+  model::ModelProfile model;
+  topo::Cluster cluster;
+  planner::ParallelPlan plan;
+  runtime::BuildOptions options;
+
+  /// One-line description for failure messages and verbose logs.
+  std::string Describe() const;
+};
+
+/// Deterministically derives a configuration from a seed. Covers both
+/// schedules, both warmup policies, warmup overrides, re-computation, both
+/// replication modes, homogeneous and straggler clusters, random plans and
+/// (on a subset of seeds) planner-produced plans.
+FuzzCase MakeFuzzCase(std::uint64_t seed);
+
+/// Everything observed while running one case.
+struct FuzzOutcome {
+  std::uint64_t seed = 0;
+  ValidationReport report;
+
+  int num_tasks = 0;
+  TimeSec simulated_makespan = 0.0;
+
+  /// Analytic-vs-simulated bracket (checked for split-mode DAPPLE cases
+  /// without a warmup override — the estimator models exactly that family).
+  bool checked_latency = false;
+  bool latency_bracketed = true;
+  TimeSec analytic_latency = 0.0;
+
+  /// Peak-memory-independence differential (checked for DAPPLE cases whose
+  /// warmup depths are not clamped by M itself).
+  bool checked_peak = false;
+  bool peak_independent = true;
+  Bytes peak_at_m = 0;
+  Bytes peak_at_2m = 0;
+
+  bool ok() const { return report.ok() && latency_bracketed && peak_independent; }
+  /// Failure summary including the seed; empty when ok().
+  std::string Summary() const;
+};
+
+/// Runs one case end to end (build → simulate → validate → differentials).
+FuzzOutcome RunFuzzCase(const FuzzCase& c);
+
+inline FuzzOutcome RunFuzzSeed(std::uint64_t seed) {
+  return RunFuzzCase(MakeFuzzCase(seed));
+}
+
+}  // namespace dapple::check

@@ -14,6 +14,8 @@
 // simulator).
 #pragma once
 
+#include "check/fuzz.h"
+#include "check/validator.h"
 #include "comm/cost_model.h"
 #include "model/profile.h"
 #include "model/profiler.h"

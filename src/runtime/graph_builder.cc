@@ -53,6 +53,7 @@ BuiltPipeline GraphBuilder::Build() const {
 
   BuiltPipeline built;
   built.num_devices = num_devices;
+  built.options = options_;
   if (options_.micro_batch_size > 0) {
     built.micro_batch_size = options_.micro_batch_size;
     built.num_micro_batches = static_cast<int>(

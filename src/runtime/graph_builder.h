@@ -53,6 +53,9 @@ struct BuiltPipeline {
   int num_devices = 0;
   /// Per computation stage: the warmup depth the schedule actually used.
   std::vector<int> warmup_depths;
+  /// The options the builder ran with (micro-batching resolved above); lets
+  /// consumers such as check::ScheduleValidator re-derive expectations.
+  BuildOptions options;
 };
 
 class GraphBuilder {

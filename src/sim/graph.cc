@@ -13,6 +13,7 @@ TaskId TaskGraph::AddTask(Task task) {
   task.id = id;
   tasks_.push_back(std::move(task));
   successors_.emplace_back();
+  predecessors_.emplace_back();
   in_degree_.push_back(0);
   return id;
 }
@@ -24,6 +25,7 @@ void TaskGraph::AddEdge(TaskId predecessor, TaskId successor) {
   auto& succ = successors_[static_cast<std::size_t>(predecessor)];
   if (std::find(succ.begin(), succ.end(), successor) != succ.end()) return;
   succ.push_back(successor);
+  predecessors_[static_cast<std::size_t>(successor)].push_back(predecessor);
   in_degree_[static_cast<std::size_t>(successor)]++;
 }
 
@@ -35,6 +37,10 @@ Task& TaskGraph::mutable_task(TaskId id) { return tasks_.at(static_cast<std::siz
 
 const std::vector<TaskId>& TaskGraph::successors(TaskId id) const {
   return successors_.at(static_cast<std::size_t>(id));
+}
+
+const std::vector<TaskId>& TaskGraph::predecessors(TaskId id) const {
+  return predecessors_.at(static_cast<std::size_t>(id));
 }
 
 int TaskGraph::in_degree(TaskId id) const {

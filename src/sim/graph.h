@@ -29,6 +29,7 @@ class TaskGraph {
   const std::vector<Task>& tasks() const { return tasks_; }
 
   const std::vector<TaskId>& successors(TaskId id) const;
+  const std::vector<TaskId>& predecessors(TaskId id) const;
   int in_degree(TaskId id) const;
 
   /// Highest resource id referenced + 1.
@@ -40,6 +41,7 @@ class TaskGraph {
  private:
   std::vector<Task> tasks_;
   std::vector<std::vector<TaskId>> successors_;
+  std::vector<std::vector<TaskId>> predecessors_;
   std::vector<int> in_degree_;
 };
 

@@ -2,6 +2,8 @@
 // would, including the plan-file round trip and chrome-trace export.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -13,8 +15,14 @@ namespace {
 #define DAPPLE_CLI_PATH "./dapple"
 #endif
 
+/// Paths include the pid: ctest runs each discovered test as its own
+/// process, concurrently, so a shared fixed path would be clobbered.
+std::string TempPath(const std::string& tag) {
+  return "/tmp/dapple_cli_test_" + std::to_string(getpid()) + "_" + tag;
+}
+
 std::string RunCli(const std::string& args, int* exit_code) {
-  const std::string output_path = "/tmp/dapple_cli_test_out.txt";
+  const std::string output_path = TempPath("out.txt");
   const std::string command =
       std::string(DAPPLE_CLI_PATH) + " " + args + " > " + output_path + " 2>&1";
   const int status = std::system(command.c_str());
@@ -36,7 +44,7 @@ TEST(Cli, ZooListsBenchmarkModels) {
 }
 
 TEST(Cli, PlanSaveRunRoundTrip) {
-  const std::string plan_path = "/tmp/dapple_cli_test.plan";
+  const std::string plan_path = TempPath("roundtrip.plan");
   int code = 0;
   const std::string plan_out =
       RunCli("plan GNMT-16 A 2 1024 --save " + plan_path, &code);
@@ -53,7 +61,7 @@ TEST(Cli, PlanSaveRunRoundTrip) {
 }
 
 TEST(Cli, RunWithTraceAndGantt) {
-  const std::string trace_path = "/tmp/dapple_cli_test_trace.json";
+  const std::string trace_path = TempPath("trace.json");
   int code = 0;
   const std::string out = RunCli(
       "run BERT-48 B 2 8 --schedule gpipe --recompute --gantt --trace " + trace_path,

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <string>
+#include <thread>
 
 #include "common/error.h"
 #include "common/thread_pool.h"
@@ -49,6 +51,40 @@ TEST(ThreadPool, ExceptionsPropagate) {
   std::atomic<int> counter{0};
   pool.ParallelFor(8, [&](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, ConcurrentThrowsLeaveExactlyOneAndAUsablePool) {
+  // Stress the ParallelFor exception path with *genuinely concurrent*
+  // throws: each body spin-waits until all kWorkers bodies have entered
+  // (a spinning body pins its worker thread, so with exactly kWorkers
+  // tasks on a kWorkers-thread pool, all of them throw in parallel).
+  // Exactly one exception must escape the call; the rest are swallowed,
+  // and the pool must stay fully usable afterwards.
+  constexpr std::size_t kWorkers = 8;
+  ThreadPool pool(kWorkers);
+  ASSERT_EQ(pool.num_threads(), kWorkers);
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<std::size_t> entered{0};
+    std::atomic<int> thrown{0};
+    bool caught = false;
+    try {
+      pool.ParallelFor(kWorkers, [&](std::size_t i) {
+        entered.fetch_add(1);
+        while (entered.load() < kWorkers) std::this_thread::yield();
+        thrown.fetch_add(1);
+        throw Error("boom-" + std::to_string(i));
+      });
+    } catch (const Error& e) {
+      caught = true;
+      EXPECT_EQ(std::string(e.what()).rfind("boom-", 0), 0u) << e.what();
+    }
+    EXPECT_TRUE(caught) << "round " << round;
+    EXPECT_EQ(thrown.load(), static_cast<int>(kWorkers)) << "round " << round;
+
+    std::atomic<int> counter{0};
+    pool.ParallelFor(64, [&](std::size_t) { counter.fetch_add(1); });
+    EXPECT_EQ(counter.load(), 64) << "round " << round;
+  }
 }
 
 TEST(ThreadPool, DeterministicResultSlots) {

@@ -1,0 +1,73 @@
+// Golden-file test for the Chrome trace exporter: the paper's Fig. 3
+// scenario (two single-device stages, M = 4, DAPPLE early-backward
+// schedule) must serialize byte-for-byte to the checked-in JSON. Any
+// change to the trace format, the schedule shape, or the engine's
+// tie-breaking shows up as a diff here before it reaches users' traces.
+//
+// To regenerate after an intentional format/schedule change:
+//
+//   DAPPLE_REGEN_GOLDEN=1 ctest -L golden
+//
+// then review the diff of tests/golden/fig3_two_stage_m4.json by hand.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "model/zoo.h"
+#include "runtime/graph_builder.h"
+#include "sim/chrome_trace.h"
+#include "sim/engine.h"
+#include "topo/cluster.h"
+#include "topo/device_set.h"
+
+namespace dapple {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(DAPPLE_GOLDEN_DIR) + "/fig3_two_stage_m4.json";
+}
+
+std::string RenderFig3Trace() {
+  // Exact-representable layer times (2 ms / 4 ms) keep the emitted
+  // microsecond timestamps integral and platform-independent.
+  const auto m = model::MakeUniformSynthetic(4, 0.002, 0.004, 1_MiB, 1'000'000);
+  const topo::Cluster cluster = topo::MakeConfigB(2);
+  planner::ParallelPlan plan;
+  plan.model = m.name();
+  plan.stages.push_back({0, 2, topo::DeviceSet::Range(0, 1)});
+  plan.stages.push_back({2, 4, topo::DeviceSet::Range(1, 1)});
+  runtime::BuildOptions options;
+  options.global_batch_size = 4;  // micro-batch size 1 => M = 4
+  options.schedule.kind = runtime::ScheduleKind::kDapple;
+  const runtime::BuiltPipeline built =
+      runtime::GraphBuilder(m, cluster, plan, options).Build();
+  const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+  return sim::ToChromeTrace(built.graph, result);
+}
+
+TEST(TraceGoldenTest, Fig3TwoStageScheduleMatchesGolden) {
+  const std::string trace = RenderFig3Trace();
+
+  if (std::getenv("DAPPLE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << trace;
+    GTEST_SKIP() << "regenerated " << GoldenPath() << "; review the diff";
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << GoldenPath()
+                         << " (regenerate with DAPPLE_REGEN_GOLDEN=1)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  EXPECT_EQ(trace, golden.str())
+      << "trace output drifted from " << GoldenPath()
+      << "; if intentional, regenerate with DAPPLE_REGEN_GOLDEN=1 and review";
+}
+
+}  // namespace
+}  // namespace dapple

@@ -1,0 +1,56 @@
+// Randomized differential test: hundreds of seeded configurations through
+// planner → graph_builder → engine, each checked against the full
+// ScheduleValidator invariant set plus the analytic-latency bracket and the
+// peak-memory-vs-M differential (see src/check/fuzz.h).
+//
+// Iteration count and base seed come from the environment so CI can widen
+// the sweep and a failure is reproducible without recompiling:
+//
+//   DAPPLE_FUZZ_ITERATIONS=5000 DAPPLE_FUZZ_SEED=123 ctest -L fuzz
+//   build/tools/dapple_fuzz --repro <seed printed by the failure>
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/fuzz.h"
+
+namespace dapple {
+namespace {
+
+long EnvLong(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atol(value) : fallback;
+}
+
+TEST(ValidatorFuzzTest, RandomConfigsSatisfyAllInvariants) {
+  const long iterations = EnvLong("DAPPLE_FUZZ_ITERATIONS", 250);
+  const auto base = static_cast<std::uint64_t>(EnvLong("DAPPLE_FUZZ_SEED", 0));
+
+  long latency_checked = 0;
+  long peak_checked = 0;
+  for (long i = 0; i < iterations; ++i) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
+    const check::FuzzCase c = check::MakeFuzzCase(seed);
+    const check::FuzzOutcome out = check::RunFuzzCase(c);
+    ASSERT_TRUE(out.ok()) << out.Summary() << "  case: " << c.Describe();
+    EXPECT_GE(out.report.checks_run, 7) << c.Describe();
+    EXPECT_GT(out.num_tasks, 0) << c.Describe();
+    latency_checked += out.checked_latency ? 1 : 0;
+    peak_checked += out.checked_peak ? 1 : 0;
+  }
+  // The generator must keep exercising both differentials, not just the
+  // validator (a distribution drift here would silently gut the test).
+  EXPECT_GE(latency_checked, iterations / 10);
+  EXPECT_GE(peak_checked, iterations / 10);
+}
+
+TEST(ValidatorFuzzTest, CasesAreDeterministicInTheSeed) {
+  const check::FuzzCase a = check::MakeFuzzCase(17);
+  const check::FuzzCase b = check::MakeFuzzCase(17);
+  EXPECT_EQ(a.Describe(), b.Describe());
+  EXPECT_EQ(check::RunFuzzCase(a).simulated_makespan,
+            check::RunFuzzCase(b).simulated_makespan);
+}
+
+}  // namespace
+}  // namespace dapple

@@ -1,0 +1,240 @@
+// ScheduleValidator tests: a clean run passes every invariant family, and
+// each hand-crafted corruption of the schedule (overlapped resource,
+// reordered backward, exceeded warmup depth, leaked activation, missing
+// AllReduce, ...) is detected under its stable violation code.
+#include <gtest/gtest.h>
+
+#include "check/validator.h"
+#include "model/zoo.h"
+#include "runtime/graph_builder.h"
+#include "sim/engine.h"
+#include "topo/cluster.h"
+#include "topo/device_set.h"
+
+namespace dapple {
+namespace {
+
+struct Scenario {
+  model::ModelProfile model;
+  topo::Cluster cluster;
+  planner::ParallelPlan plan;
+  runtime::BuildOptions options;
+
+  runtime::BuiltPipeline Build() const {
+    return runtime::GraphBuilder(model, cluster, plan, options).Build();
+  }
+};
+
+/// Two single-device stages on Config-B, M = 4. DAPPLE warmup depths are
+/// K = {2, 1} (policy PA), so stage 0 pipelines two micro-batches.
+Scenario TwoStage(runtime::ScheduleKind kind) {
+  Scenario s{model::MakeUniformSynthetic(4, 0.002, 0.004, 1_MiB, 1'000'000),
+             topo::MakeConfigB(2),
+             {},
+             {}};
+  s.plan.model = s.model.name();
+  s.plan.stages.push_back({0, 2, topo::DeviceSet::Range(0, 1)});
+  s.plan.stages.push_back({2, 4, topo::DeviceSet::Range(1, 1)});
+  s.options.global_batch_size = 4;
+  s.options.schedule.kind = kind;
+  s.options.enforce_memory_capacity = false;
+  return s;
+}
+
+/// Stage 0 replicated over two devices (so it owns a gradient AllReduce),
+/// stage 1 on the third device.
+Scenario Replicated() {
+  Scenario s{model::MakeUniformSynthetic(4, 0.002, 0.004, 1_MiB, 1'000'000),
+             topo::MakeConfigB(3),
+             {},
+             {}};
+  s.plan.model = s.model.name();
+  s.plan.stages.push_back({0, 2, topo::DeviceSet::Range(0, 2)});
+  s.plan.stages.push_back({2, 4, topo::DeviceSet::Range(2, 1)});
+  s.options.global_batch_size = 8;  // mbs auto-resolves to 2 => M = 4
+  s.options.schedule.kind = runtime::ScheduleKind::kDapple;
+  s.options.enforce_memory_capacity = false;
+  return s;
+}
+
+check::ValidationReport Validate(const Scenario& s, const runtime::BuiltPipeline& built,
+                                 const sim::SimResult& result) {
+  return check::ScheduleValidator(s.plan, s.options).Validate(built, result);
+}
+
+/// First task matching a predicate; aborts the test if absent.
+template <typename Pred>
+sim::TaskId FindTask(const sim::TaskGraph& graph, Pred pred) {
+  for (const sim::Task& t : graph.tasks()) {
+    if (pred(t)) return t.id;
+  }
+  ADD_FAILURE() << "no task matches";
+  return sim::kInvalidTask;
+}
+
+sim::TaskId FindCompute(const sim::TaskGraph& graph, sim::TaskKind kind, int stage,
+                        int microbatch, int device) {
+  return FindTask(graph, [&](const sim::Task& t) {
+    return t.kind == kind && t.stage == stage && t.microbatch == microbatch &&
+           t.device == device;
+  });
+}
+
+TEST(ValidatorTest, CleanDappleRunPasses) {
+  const Scenario s = TwoStage(runtime::ScheduleKind::kDapple);
+  const runtime::BuiltPipeline built = s.Build();
+  const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+  const check::ValidationReport report = Validate(s, built, result);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GE(report.checks_run, 7);
+  EXPECT_EQ(report.ToString().substr(0, 2), "OK");
+}
+
+TEST(ValidatorTest, CleanGPipeRunPasses) {
+  const Scenario s = TwoStage(runtime::ScheduleKind::kGPipe);
+  const runtime::BuiltPipeline built = s.Build();
+  const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+  const check::ValidationReport report = Validate(s, built, result);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(ValidatorTest, CleanReplicatedRunPasses) {
+  const Scenario s = Replicated();
+  const runtime::BuiltPipeline built = s.Build();
+  const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+  const check::ValidationReport report = Validate(s, built, result);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// Mutation 1: slide one forward on top of its device neighbour.
+TEST(ValidatorTest, DetectsResourceOverlap) {
+  const Scenario s = TwoStage(runtime::ScheduleKind::kDapple);
+  const runtime::BuiltPipeline built = s.Build();
+  sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+
+  const sim::TaskId f0 = FindCompute(built.graph, sim::TaskKind::kForward, 0, 0, 0);
+  const sim::TaskId f1 = FindCompute(built.graph, sim::TaskKind::kForward, 0, 1, 0);
+  const auto& r0 = result.records[static_cast<std::size_t>(f0)];
+  auto& r1 = result.records[static_cast<std::size_t>(f1)];
+  const TimeSec len = r1.end - r1.start;
+  r1.start = (r0.start + r0.end) / 2;  // halfway into F0
+  r1.end = r1.start + len;
+
+  const check::ValidationReport report = Validate(s, built, result);
+  EXPECT_TRUE(report.Has(check::kViolationResourceOverlap)) << report.ToString();
+}
+
+// Mutation 2: swap two backwards, breaking GPipe's LIFO backward order.
+TEST(ValidatorTest, DetectsReorderedBackward) {
+  const Scenario s = TwoStage(runtime::ScheduleKind::kGPipe);
+  const runtime::BuiltPipeline built = s.Build();
+  sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+
+  const sim::TaskId b3 = FindCompute(built.graph, sim::TaskKind::kBackward, 0, 3, 0);
+  const sim::TaskId b0 = FindCompute(built.graph, sim::TaskKind::kBackward, 0, 0, 0);
+  std::swap(result.records[static_cast<std::size_t>(b3)],
+            result.records[static_cast<std::size_t>(b0)]);
+
+  const check::ValidationReport report = Validate(s, built, result);
+  EXPECT_TRUE(report.Has(check::kViolationScheduleOrder)) << report.ToString();
+}
+
+// Mutation 3: claim a smaller warmup depth than the schedule actually used.
+TEST(ValidatorTest, DetectsExceededWarmupDepth) {
+  const Scenario s = TwoStage(runtime::ScheduleKind::kDapple);
+  runtime::BuiltPipeline built = s.Build();
+  const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+  ASSERT_EQ(built.warmup_depths[0], 2);  // PA: K_0 = min(S - 0, D) = 2
+
+  built.warmup_depths[0] = 1;  // the run keeps 2 micro-batches in flight
+
+  const check::ValidationReport report = Validate(s, built, result);
+  EXPECT_TRUE(report.Has(check::kViolationWarmupExceeded)) << report.ToString();
+}
+
+// Mutation 4: a backward that forgets to release its activations.
+TEST(ValidatorTest, DetectsLeakedActivation) {
+  const Scenario s = TwoStage(runtime::ScheduleKind::kDapple);
+  runtime::BuiltPipeline built = s.Build();
+  const sim::TaskId leak = FindCompute(built.graph, sim::TaskKind::kBackward, 0, 0, 0);
+  ASSERT_GT(built.graph.task(leak).free_at_end, 0u);
+  built.graph.mutable_task(leak).free_at_end = 0;
+
+  const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+  const check::ValidationReport report = Validate(s, built, result);
+  EXPECT_TRUE(report.Has(check::kViolationMemoryLeak)) << report.ToString();
+  EXPECT_TRUE(report.Has(check::kViolationMemoryUnbalanced)) << report.ToString();
+}
+
+// Mutation 5: the replicated stage's gradient AllReduce disappears.
+TEST(ValidatorTest, DetectsMissingAllReduce) {
+  const Scenario s = Replicated();
+  runtime::BuiltPipeline built = s.Build();
+  const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+
+  const sim::TaskId ar = FindTask(built.graph, [](const sim::Task& t) {
+    return t.kind == sim::TaskKind::kAllReduce;
+  });
+  built.graph.mutable_task(ar).kind = sim::TaskKind::kGeneric;
+
+  const check::ValidationReport report = Validate(s, built, result);
+  EXPECT_TRUE(report.Has(check::kViolationAllReduceMissing)) << report.ToString();
+}
+
+// Mutation 6: a transfer jumps the gun on its producing forward.
+TEST(ValidatorTest, DetectsDependencyOrderViolation) {
+  const Scenario s = TwoStage(runtime::ScheduleKind::kDapple);
+  const runtime::BuiltPipeline built = s.Build();
+  sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+
+  const sim::TaskId fwd = FindCompute(built.graph, sim::TaskKind::kForward, 0, 0, 0);
+  ASSERT_FALSE(built.graph.successors(fwd).empty());
+  const sim::TaskId succ = built.graph.successors(fwd).front();
+  auto& rec = result.records[static_cast<std::size_t>(succ)];
+  const TimeSec len = rec.end - rec.start;
+  rec.start = result.records[static_cast<std::size_t>(fwd)].start;  // before fwd ends
+  rec.end = rec.start + len;
+
+  const check::ValidationReport report = Validate(s, built, result);
+  EXPECT_TRUE(report.Has(check::kViolationDependencyOrder)) << report.ToString();
+}
+
+// Mutation 7: the reported makespan disagrees with the last task.
+TEST(ValidatorTest, DetectsMakespanMismatch) {
+  const Scenario s = TwoStage(runtime::ScheduleKind::kDapple);
+  const runtime::BuiltPipeline built = s.Build();
+  sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+  result.makespan += 1.0;
+
+  const check::ValidationReport report = Validate(s, built, result);
+  EXPECT_TRUE(report.Has(check::kViolationMakespan)) << report.ToString();
+}
+
+// Mutation 8: a stray AllReduce on an unreplicated stage.
+TEST(ValidatorTest, DetectsExtraAllReduce) {
+  const Scenario s = TwoStage(runtime::ScheduleKind::kDapple);
+  runtime::BuiltPipeline built = s.Build();
+  const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+
+  const sim::TaskId apply = FindTask(built.graph, [](const sim::Task& t) {
+    return t.kind == sim::TaskKind::kApply && t.stage == 0;
+  });
+  built.graph.mutable_task(apply).kind = sim::TaskKind::kAllReduce;
+
+  const check::ValidationReport report = Validate(s, built, result);
+  EXPECT_TRUE(report.Has(check::kViolationAllReduceExtra)) << report.ToString();
+}
+
+// Mutation 9: a record never marked as executed.
+TEST(ValidatorTest, DetectsUnexecutedTask) {
+  const Scenario s = TwoStage(runtime::ScheduleKind::kDapple);
+  const runtime::BuiltPipeline built = s.Build();
+  sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+  result.records[0].executed = false;
+
+  const check::ValidationReport report = Validate(s, built, result);
+  EXPECT_TRUE(report.Has(check::kViolationNotExecuted)) << report.ToString();
+}
+
+}  // namespace
+}  // namespace dapple
