@@ -19,6 +19,7 @@ struct EvalRow {
   long global_batch_size = 0;
   planner::PlanResult planned;
   runtime::IterationReport hybrid;
+  obs::IterationReport report;  // full observability report of the hybrid run
   planner::DataParallelEstimate dp_no_overlap;
   planner::DataParallelEstimate dp_overlap;
 };
@@ -37,5 +38,11 @@ void PrintHeader(const std::string& title, const std::string& paper_anchor);
 /// Prints a paper-vs-measured comparison line.
 void PrintComparison(const std::string& metric, const std::string& paper,
                      const std::string& measured);
+
+// Every PrintHeader / PrintComparison / Evaluate call is also recorded; when
+// DAPPLE_BENCH_JSON_DIR is set, the process writes the accumulated record to
+// $DAPPLE_BENCH_JSON_DIR/BENCH_<binary>.json at exit — the machine-readable
+// counterpart of the stdout tables, with the full iteration report embedded
+// per evaluated row.
 
 }  // namespace dapple::bench

@@ -30,14 +30,17 @@ namespace dapple::check {
 /// single-stage (pure DP) plans, where the estimator ignores only launch
 /// overheads and bubbles.
 inline constexpr double kAnalyticOverSimTolerance = 1.10;
-/// Multi-stage plans add cross-stage transfers, which the estimator models
-/// as one serial comm stage (forward + backward on one lane) while the
-/// simulator gives each direction its own channel — up to a factor-2
-/// duplex pessimism on comm-bound plans, plus the 10% above.
-inline constexpr double kAnalyticOverSimCommTolerance = 2.25;
+/// Multi-stage plans add cross-stage transfers. The estimator matches the
+/// simulator's duplex channels (steady comm rounds gated by max(F, B), not
+/// F + B), so the remaining analytic pessimism comes from formula-1
+/// conservatism on overlap and pivot interactions. Calibrated on a
+/// 100k-seed sweep after the duplex fix: worst observed ratio 1.049
+/// (seed 3410).
+inline constexpr double kAnalyticOverSimCommTolerance = 1.30;
 /// The simulated makespan may exceed the analytic latency by at most this
 /// factor (bubbles, transfers serialized on channels, the weight update).
-inline constexpr double kSimOverAnalyticTolerance = 4.0;
+/// Worst observed on the same 100k-seed sweep: 1.616.
+inline constexpr double kSimOverAnalyticTolerance = 2.0;
 
 /// One generated configuration. Aggregate-constructed by MakeFuzzCase.
 struct FuzzCase {

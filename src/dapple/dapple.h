@@ -20,6 +20,8 @@
 #include "model/profile.h"
 #include "model/profiler.h"
 #include "model/zoo.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "planner/dp_baseline.h"
 #include "planner/dp_planner.h"
 #include "planner/latency.h"

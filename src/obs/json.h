@@ -1,0 +1,56 @@
+// Minimal streaming JSON writer shared by the observability exporters
+// (iteration reports, metrics snapshots, bench blobs). Emits deterministic
+// output — fixed "%.12g" number formatting, insertion-order keys, 2-space
+// indentation — so JSON artifacts can be golden-tested byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dapple::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Starts a key inside an object; the next Begin*/value call provides the
+  /// value.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(std::int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<std::int64_t>(v)); }
+  JsonWriter& Value(std::uint64_t v);
+  JsonWriter& Value(bool v);
+
+  /// Convenience: Key(name) + Value(v).
+  template <typename T>
+  JsonWriter& Field(const std::string& name, T v) {
+    Key(name);
+    return Value(v);
+  }
+
+  /// The completed document. Valid once every container has been closed.
+  std::string str() const { return out_; }
+
+  static std::string Escape(const std::string& s);
+  /// The writer's number format ("%.12g"), for exporters that hand-roll.
+  static std::string Number(double v);
+
+ private:
+  void BeforeValue();
+  void Newline();
+
+  std::string out_;
+  /// One frame per open container: true while no element was emitted yet.
+  std::vector<bool> first_in_container_;
+  bool pending_key_ = false;
+};
+
+}  // namespace dapple::obs

@@ -4,12 +4,14 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "common/error.h"
 #include "common/log.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "topo/assignment.h"
 
 namespace dapple::planner {
@@ -71,8 +73,18 @@ PlanResult DapplePlanner::Plan() const {
   // Track the best infeasible plan too so error messages are informative.
   std::string last_infeasible;
   long evaluated = 0;
+  long pruned = 0;
 
-  // Top-k distinct feasible candidates for simulator re-ranking.
+  // Top-k distinct feasible candidates for simulator re-ranking. The
+  // signature set mirrors `alternatives` so a merge is one set lookup, not
+  // O(k) signature rebuilds of every stored alternative.
+  struct Alternative {
+    ParallelPlan plan;
+    PlanEstimate estimate;
+    std::string sig;
+  };
+  std::vector<Alternative> alternatives;
+  std::set<std::string> alternative_sigs;
   auto plan_signature = [](const ParallelPlan& p) {
     std::string sig;
     for (const StagePlan& s : p.stages) {
@@ -84,16 +96,15 @@ PlanResult DapplePlanner::Plan() const {
   };
   auto record_candidate = [&](const ParallelPlan& plan, const PlanEstimate& est) {
     if (options_.keep_alternatives <= 0) return;
-    const std::string sig = plan_signature(plan);
-    for (const auto& [p, e] : best.alternatives) {
-      (void)e;
-      if (plan_signature(p) == sig) return;
-    }
-    best.alternatives.emplace_back(plan, est);
-    std::sort(best.alternatives.begin(), best.alternatives.end(),
-              [](const auto& a, const auto& b) { return a.second.latency < b.second.latency; });
-    if (static_cast<int>(best.alternatives.size()) > options_.keep_alternatives) {
-      best.alternatives.resize(static_cast<std::size_t>(options_.keep_alternatives));
+    std::string sig = plan_signature(plan);
+    if (!alternative_sigs.insert(sig).second) return;
+    alternatives.push_back({plan, est, std::move(sig)});
+    std::sort(alternatives.begin(), alternatives.end(), [](const auto& a, const auto& b) {
+      return a.estimate.latency < b.estimate.latency;
+    });
+    while (static_cast<int>(alternatives.size()) > options_.keep_alternatives) {
+      alternative_sigs.erase(alternatives.back().sig);
+      alternatives.pop_back();
     }
   };
 
@@ -172,6 +183,7 @@ PlanResult DapplePlanner::Plan() const {
       if (options_.prune_slack > 0.0 && best.estimate.feasible &&
           std::isfinite(node.tpl) &&
           node.tpl > best.estimate.latency * options_.prune_slack) {
+        ++pruned;
         continue;
       }
       const int free_devices = node.state.num_free();
@@ -218,6 +230,9 @@ PlanResult DapplePlanner::Plan() const {
         e.estimate = estimator.Estimate(*e.completed, options_.global_batch_size);
       }
     });
+    obs::MetricsRegistry::Global()
+        .histogram("planner.level_expansions")
+        .Observe(static_cast<double>(expansions.size()));
 
     // Phase 3 (sequential, deterministic): merge in enumeration order —
     // identical outcomes to the single-threaded search.
@@ -237,6 +252,17 @@ PlanResult DapplePlanner::Plan() const {
   }
 
   best.candidates_evaluated = evaluated;
+  best.alternatives.reserve(alternatives.size());
+  for (Alternative& alt : alternatives) {
+    best.alternatives.emplace_back(std::move(alt.plan), alt.estimate);
+  }
+
+  {
+    auto& metrics = obs::MetricsRegistry::Global();
+    metrics.counter("planner.plans").Increment();
+    metrics.counter("planner.candidates_evaluated").Increment(evaluated);
+    metrics.counter("planner.candidates_pruned").Increment(pruned);
+  }
 
   // Pin the pure data-parallel plan into the alternatives (appended past
   // the top-k cut if necessary): it is the paper's universal baseline and

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace dapple::planner {
 
@@ -104,9 +105,13 @@ int LatencyEstimator::ChoosePivot(const std::vector<StageCost>& stages,
                                   int num_micro_batches) {
   DAPPLE_CHECK(!stages.empty());
   const double m1 = std::max(0, num_micro_batches - 1);
+  // Comm stages run forward and backward transfers on independent duplex
+  // channels, so their steady phase is gated by the slower direction, not
+  // the sum (see the matching term in Estimate's latency_at).
   auto steady = [&](int s) {
-    return m1 * (stages[static_cast<std::size_t>(s)].forward +
-                 stages[static_cast<std::size_t>(s)].backward);
+    const StageCost& sc = stages[static_cast<std::size_t>(s)];
+    return m1 * (sc.is_comm ? std::max(sc.forward, sc.backward)
+                            : sc.forward + sc.backward);
   };
   // Paper formula 3: start at the last stage and move the pivot to an
   // earlier stage s whenever s's bubble-free steady phase dominates Q's
@@ -145,6 +150,7 @@ Bytes LatencyEstimator::StagePeakMemory(const StagePlan& stage, double samples,
 PlanEstimate LatencyEstimator::Estimate(const ParallelPlan& plan,
                                         long global_batch_size) const {
   plan.Validate(*model_);
+  obs::MetricsRegistry::Global().counter("planner.estimator_calls").Increment();
   PlanEstimate est;
   int max_replication = 1;
   for (const StagePlan& s : plan.stages) {
@@ -231,7 +237,13 @@ PlanEstimate LatencyEstimator::Estimate(const ParallelPlan& plan,
     for (int s = 0; s <= q; ++s) {
       warmup += est.stages[static_cast<std::size_t>(s)].forward;
     }
-    const TimeSec steady = static_cast<double>(M - 1) * (sq.forward + sq.backward);
+    // A computation stage alternates one forward and one backward per
+    // steady-state round on a single engine. A comm stage does not: the
+    // simulator gives each boundary a duplex channel pair, so forward and
+    // backward transfers overlap and the round is gated by max(F, B).
+    const TimeSec per_round =
+        sq.is_comm ? std::max(sq.forward, sq.backward) : sq.forward + sq.backward;
+    const TimeSec steady = static_cast<double>(M - 1) * per_round;
     TimeSec ending = 0.0;
     for (int s = 0; s < total; ++s) {
       TimeSec tail = 0.0;

@@ -230,6 +230,7 @@ BuiltPipeline GraphBuilder::Build() const {
       txf.duration = tx_time;
       txf.stage = i;
       txf.microbatch = m;
+      txf.bytes = act;
       const sim::TaskId txf_id = graph.AddTask(std::move(txf));
       for (sim::TaskId t : src) graph.AddEdge(t, txf_id);
       for (sim::TaskId t : dst) graph.AddEdge(txf_id, t);
@@ -252,6 +253,7 @@ BuiltPipeline GraphBuilder::Build() const {
       txb.duration = btx_time;
       txb.stage = i;
       txb.microbatch = m;
+      txb.bytes = act;
       const sim::TaskId txb_id = graph.AddTask(std::move(txb));
       for (sim::TaskId t : bsrc) graph.AddEdge(t, txb_id);
       for (sim::TaskId t : bdst) graph.AddEdge(txb_id, t);
@@ -320,6 +322,7 @@ BuiltPipeline GraphBuilder::Build() const {
         ar.duration = cost.AllReduce(si.plan->devices, weights);
       }
       ar.stage = i;
+      ar.bytes = weights;
       ar_id = graph.AddTask(std::move(ar));
       for (int m = 0; m < m_total; ++m) {
         for (sim::TaskId t :

@@ -1,6 +1,7 @@
 #include "sim/chrome_trace.h"
 
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "common/error.h"
@@ -61,6 +62,51 @@ std::string ToChromeTrace(const TaskGraph& graph, const SimResult& result,
       << ",\"args\":{\"stage\":" << task.stage << ",\"microbatch\":" << task.microbatch
       << "}}";
     emit(e.str());
+  }
+
+  // Flow events: arrows from each cross-stage transfer slice to the compute
+  // slices it feeds, so the viewer shows activations/gradients hopping
+  // between stage rows. The "s"/"f" pair binds to the enclosing slices by
+  // (tid, ts); bp=e attaches the arrow to the consumer's start.
+  if (options.include_transfer_flows) {
+    int flow_id = 0;
+    for (const TaskRecord& rec : result.records) {
+      if (!rec.executed || rec.id == kInvalidTask) continue;
+      const Task& task = graph.task(rec.id);
+      if (task.kind != TaskKind::kTransfer) continue;
+      for (TaskId succ : graph.successors(rec.id)) {
+        const TaskRecord& to = result.records[static_cast<std::size_t>(succ)];
+        if (!to.executed || !IsComputeKind(graph.task(succ).kind)) continue;
+        std::ostringstream s;
+        s << "{\"ph\":\"s\",\"pid\":1,\"tid\":" << task.resource << ",\"id\":" << flow_id
+          << ",\"name\":\"xfer\",\"cat\":\"flow\",\"ts\":" << rec.start * 1e6 << "}";
+        emit(s.str());
+        std::ostringstream f;
+        f << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" << graph.task(succ).resource
+          << ",\"id\":" << flow_id << ",\"name\":\"xfer\",\"cat\":\"flow\",\"ts\":"
+          << to.start * 1e6 << "}";
+        emit(f.str());
+        ++flow_id;
+      }
+    }
+  }
+
+  // Busy-resource occupancy counter, sampled at every task boundary.
+  if (options.include_occupancy_counters) {
+    std::map<double, int> deltas;
+    for (const TaskRecord& rec : result.records) {
+      if (!rec.executed || rec.id == kInvalidTask) continue;
+      deltas[rec.start] += 1;
+      deltas[rec.end] -= 1;
+    }
+    int busy = 0;
+    for (const auto& [t, d] : deltas) {
+      busy += d;
+      std::ostringstream e;
+      e << "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"busy resources\",\"ts\":"
+        << t * 1e6 << ",\"args\":{\"busy\":" << busy << "}}";
+      emit(e.str());
+    }
   }
 
   // Memory counter events per pool.

@@ -16,6 +16,12 @@ struct ChromeTraceOptions {
   std::string process_name = "dapple-sim";
   /// Include per-pool memory counter events ("C" phase).
   bool include_memory_counters = true;
+  /// Include a busy-resource occupancy counter track sampled at every task
+  /// boundary ("C" phase).
+  bool include_occupancy_counters = true;
+  /// Include flow events ("s"/"f" phase) drawing arrows from each
+  /// cross-stage transfer to the compute tasks it feeds.
+  bool include_transfer_flows = true;
 };
 
 /// Renders the executed graph as a Chrome trace JSON document (the

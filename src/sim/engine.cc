@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace dapple::sim {
 
@@ -86,6 +87,9 @@ SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
   std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions;
   int executed = 0;
   TimeSec now = 0.0;
+  // Resources that may be able to start a task after the current event.
+  std::vector<ResourceId> wake;
+  wake.reserve(8);
 
   auto start_task = [&](TaskId id) {
     const Task& task = graph.task(id);
@@ -140,15 +144,20 @@ SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
 
     running[static_cast<std::size_t>(task.resource)] = kInvalidTask;
 
+    // Only the freed resource and resources whose ready set gained a task
+    // can start something; dispatching is idempotent, so duplicates in the
+    // wake list are harmless. Dispatching exactly those keeps the loop
+    // O(successors) per event instead of O(num_resources).
+    wake.clear();
+    wake.push_back(task.resource);
     for (TaskId succ : graph.successors(done.task)) {
       if (--pending[static_cast<std::size_t>(succ)] == 0) {
-        ready[static_cast<std::size_t>(graph.task(succ).resource)].insert(succ);
+        const ResourceId r = graph.task(succ).resource;
+        ready[static_cast<std::size_t>(r)].insert(succ);
+        wake.push_back(r);
       }
     }
-    // The freed resource plus any resource that gained ready work may start
-    // something; only those two categories can change, and dispatching is
-    // idempotent, so sweep all resources (num_resources is small).
-    for (ResourceId r = 0; r < num_resources; ++r) dispatch_resource(r);
+    for (ResourceId r : wake) dispatch_resource(r);
   }
 
   if (executed != n) {
@@ -164,6 +173,11 @@ SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
     }
     throw Error(os.str());
   }
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.counter("sim.runs").Increment();
+  metrics.counter("sim.tasks_executed").Increment(executed);
+  metrics.histogram("sim.makespan").Observe(result.makespan);
   return result;
 }
 

@@ -57,6 +57,8 @@ struct Task {
   int stage = -1;
   int microbatch = -1;
   int device = -1;
+  /// Payload moved by transfer/AllReduce tasks (link-volume accounting).
+  Bytes bytes = 0;
 };
 
 }  // namespace dapple::sim

@@ -1,0 +1,46 @@
+// Pinned fuzz-seed regressions. Each seed here once exposed (or guards
+// against reintroducing) a specific estimator/simulator divergence; the
+// cases run in the fast unit tier so the bracket constants in check/fuzz.h
+// cannot loosen unnoticed between full fuzz sweeps.
+#include <gtest/gtest.h>
+
+#include "check/fuzz.h"
+
+namespace dapple {
+namespace {
+
+// Seed 4299: a two-stage 1:3 plan on Config-C whose steady phase is
+// transfer-heavy. Under the old serial comm model (steady = (M-1)(F+B) on
+// one lane) the analytic latency overshot the simulated makespan by far
+// more than the duplex-aware bracket allows; with comm rounds gated by
+// max(F, B) it sits well inside kAnalyticOverSimCommTolerance.
+TEST(FuzzRegression, Seed4299StaysInsideTheDuplexBracket) {
+  const check::FuzzCase c = check::MakeFuzzCase(4299);
+  ASSERT_GE(c.plan.num_stages(), 2) << c.Describe();
+  const check::FuzzOutcome out = check::RunFuzzCase(c);
+  EXPECT_TRUE(out.ok()) << out.Summary();
+  ASSERT_TRUE(out.checked_latency) << c.Describe();
+  ASSERT_GT(out.simulated_makespan, 0.0);
+  ASSERT_GT(out.analytic_latency, 0.0);
+
+  // The tightened bracket, asserted explicitly so a tolerance loosening in
+  // check/fuzz.h needs a deliberate edit here too.
+  EXPECT_LE(out.analytic_latency,
+            out.simulated_makespan * check::kAnalyticOverSimCommTolerance);
+  EXPECT_LE(out.simulated_makespan,
+            out.analytic_latency * check::kSimOverAnalyticTolerance);
+  EXPECT_LE(check::kAnalyticOverSimCommTolerance, 1.30);
+  EXPECT_LE(check::kSimOverAnalyticTolerance, 2.0);
+}
+
+// Seed 3410 produced the worst analytic/sim ratio (1.049) of the 100k-seed
+// calibration sweep; it anchors the headroom below the 1.30 tolerance.
+TEST(FuzzRegression, Seed3410IsTheSweepWorstCaseAndPasses) {
+  const check::FuzzOutcome out = check::RunFuzzSeed(3410);
+  EXPECT_TRUE(out.ok()) << out.Summary();
+  ASSERT_TRUE(out.checked_latency);
+  EXPECT_LE(out.analytic_latency / out.simulated_makespan, 1.10);
+}
+
+}  // namespace
+}  // namespace dapple

@@ -1,0 +1,207 @@
+// Unit tests for the iteration-report observability layer, pinned on the
+// paper's Fig. 3 worked example: two single-device stages, M = 4, DAPPLE
+// early-backward schedule. Small enough that every reported quantity is
+// checkable by hand from the schedule diagram.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "model/zoo.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "planner/dp_planner.h"
+#include "runtime/graph_builder.h"
+#include "sim/engine.h"
+#include "topo/cluster.h"
+#include "topo/device_set.h"
+
+namespace dapple {
+namespace {
+
+struct Fig3 {
+  model::ModelProfile model = model::MakeUniformSynthetic(4, 0.002, 0.004, 1_MiB, 1'000'000);
+  topo::Cluster cluster = topo::MakeConfigB(2);
+  planner::ParallelPlan plan;
+  runtime::BuildOptions options;
+
+  Fig3() {
+    plan.model = model.name();
+    plan.stages.push_back({0, 2, topo::DeviceSet::Range(0, 1)});
+    plan.stages.push_back({2, 4, topo::DeviceSet::Range(1, 1)});
+    options.global_batch_size = 4;  // micro-batch size 1 => M = 4
+    options.schedule.kind = runtime::ScheduleKind::kDapple;
+  }
+
+  obs::IterationReport Report() const {
+    const runtime::BuiltPipeline built =
+        runtime::GraphBuilder(model, cluster, plan, options).Build();
+    const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+    return obs::BuildIterationReport(built, result);
+  }
+};
+
+TEST(IterationReport, Fig3ShapeAndBatching) {
+  const obs::IterationReport r = Fig3().Report();
+  EXPECT_EQ(r.schedule, "DAPPLE");
+  EXPECT_EQ(r.num_stages, 2);
+  EXPECT_EQ(r.num_devices, 2);
+  EXPECT_EQ(r.micro_batch_size, 1);
+  EXPECT_EQ(r.num_micro_batches, 4);
+  EXPECT_FALSE(r.recompute);
+  EXPECT_FALSE(r.oom);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_NEAR(r.throughput, 4.0 / r.makespan, 1e-9);
+}
+
+TEST(IterationReport, Fig3HandComputedBusyTimes) {
+  const obs::IterationReport r = Fig3().Report();
+  ASSERT_EQ(r.devices.size(), 2u);
+  for (const obs::DeviceReport& d : r.devices) {
+    // Each stage holds 2 uniform layers: forward 2 x 2 ms, backward
+    // 2 x 4 ms, times M = 4 micro-batches.
+    EXPECT_NEAR(d.forward_busy, 4 * 0.004, 1e-9) << "device " << d.device;
+    EXPECT_NEAR(d.backward_busy, 4 * 0.008, 1e-9) << "device " << d.device;
+    // 4 FW + 4 BW + 1 Apply.
+    EXPECT_EQ(d.tasks_executed, 9);
+    EXPECT_GT(d.apply_busy, 0.0);
+    // compute_busy covers exactly FW + BW + Apply here (no recompute).
+    EXPECT_NEAR(d.compute_busy, d.forward_busy + d.backward_busy + d.apply_busy, 1e-9);
+    EXPECT_NEAR(d.utilization, d.compute_busy / r.makespan, 1e-12);
+    EXPECT_NEAR(d.bubble_ratio, 1.0 - d.utilization, 1e-12);
+  }
+  // Identical stages => identical bubble ratios, and the iteration-level
+  // fraction is their mean.
+  EXPECT_NEAR(r.devices[0].bubble_ratio, r.devices[1].bubble_ratio, 1e-9);
+  EXPECT_NEAR(r.bubble_fraction,
+              (r.devices[0].bubble_ratio + r.devices[1].bubble_ratio) / 2, 1e-12);
+  // Paper formula 1 idealization: bubble ~ (S-1)/(M+S-1) = 1/5. Transfers
+  // and the weight update push the measured value a little above it.
+  EXPECT_GT(r.bubble_fraction, 0.2 - 1e-9);
+  EXPECT_LT(r.bubble_fraction, 0.35);
+  // All-device split: 2 devices x (16 + 32) ms of FW/BW compute.
+  EXPECT_NEAR(r.split.compute, 2 * (0.016 + 0.032), 1e-9);
+  EXPECT_EQ(r.split.allreduce, 0.0);  // single-replica stages
+  EXPECT_GT(r.split.transfer, 0.0);
+}
+
+TEST(IterationReport, Fig3PhaseSplit) {
+  const obs::IterationReport r = Fig3().Report();
+  // Warmup ends when stage 1's first backward starts: one stage-0 forward,
+  // one cross-stage transfer, one stage-1 forward.
+  EXPECT_GT(r.phases.warmup_end, 0.004 + 0.004);
+  EXPECT_LT(r.phases.warmup_end, r.phases.steady_end);
+  EXPECT_NEAR(r.phases.warmup + r.phases.steady + r.phases.drain, r.makespan, 1e-12);
+  EXPECT_NEAR(r.phases.warmup, r.phases.warmup_end, 1e-12);
+  EXPECT_GT(r.phases.drain, 0.0);  // stage-0 backward tail + weight update
+}
+
+TEST(IterationReport, Fig3StagesAndWarmupDepths) {
+  const obs::IterationReport r = Fig3().Report();
+  ASSERT_EQ(r.stages.size(), 2u);
+  // Policy PA: K_i = min(S - i, M) => K_0 = 2, K_1 = 1.
+  EXPECT_EQ(r.stages[0].warmup_depth, 2);
+  EXPECT_EQ(r.stages[1].warmup_depth, 1);
+  EXPECT_EQ(r.stages[0].devices, std::vector<int>{0});
+  EXPECT_EQ(r.stages[1].devices, std::vector<int>{1});
+  // Forward activations flow 0 -> 1 only.
+  EXPECT_EQ(r.stages[0].inbound_transfer, 0.0);
+  EXPECT_GT(r.stages[0].outbound_transfer, 0.0);
+  EXPECT_NEAR(r.stages[1].inbound_transfer, r.stages[0].outbound_transfer, 1e-12);
+  EXPECT_EQ(r.stages[1].outbound_transfer, 0.0);
+  // Deeper warmup stashes more activations: stage 0 peaks higher.
+  EXPECT_GT(r.stages[0].peak_memory, r.stages[1].peak_memory);
+}
+
+TEST(IterationReport, Fig3LinksCarryTheActivationVolume) {
+  const obs::IterationReport r = Fig3().Report();
+  ASSERT_EQ(r.links.size(), 2u);
+  const auto txf = std::find_if(r.links.begin(), r.links.end(),
+                                [](const auto& l) { return l.name == "txf s0->s1"; });
+  const auto txb = std::find_if(r.links.begin(), r.links.end(),
+                                [](const auto& l) { return l.name == "txb s1->s0"; });
+  ASSERT_NE(txf, r.links.end());
+  ASSERT_NE(txb, r.links.end());
+  // One 1 MiB activation (and one gradient) per micro-batch per direction.
+  EXPECT_EQ(txf->transfers, 4);
+  EXPECT_EQ(txb->transfers, 4);
+  EXPECT_EQ(txf->bytes, 4 * 1_MiB);
+  EXPECT_EQ(txb->bytes, 4 * 1_MiB);
+  EXPECT_GT(txf->occupancy, 0.0);
+  EXPECT_LT(txf->occupancy, 1.0);
+}
+
+TEST(IterationReport, Fig3JsonIsDeterministic) {
+  const Fig3 fig;
+  const std::string a = obs::ToJson(fig.Report());
+  const std::string b = obs::ToJson(fig.Report());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"bubble_fraction\""), std::string::npos);
+  EXPECT_NE(a.find("\"txf s0->s1\""), std::string::npos);
+  const std::string text = obs::ToText(fig.Report());
+  EXPECT_NE(text.find("bubble fraction"), std::string::npos);
+}
+
+TEST(IterationReport, PeakVsMCurveIsFlatForDapple) {
+  const Fig3 fig;
+  const auto curve =
+      obs::PeakVsMCurve(fig.model, fig.cluster, fig.plan, fig.options, {4, 8, 16});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_EQ(curve[0].num_micro_batches, 4);
+  EXPECT_EQ(curve[2].num_micro_batches, 16);
+  // §III: peak activation memory is O(K), not O(M).
+  EXPECT_EQ(curve[0].max_peak_memory, curve[1].max_peak_memory);
+  EXPECT_EQ(curve[1].max_peak_memory, curve[2].max_peak_memory);
+}
+
+TEST(IterationReport, PeakVsMCurveGrowsForGPipe) {
+  Fig3 fig;
+  fig.options.schedule.kind = runtime::ScheduleKind::kGPipe;
+  fig.options.enforce_memory_capacity = false;
+  const auto curve =
+      obs::PeakVsMCurve(fig.model, fig.cluster, fig.plan, fig.options, {4, 16});
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_LT(curve[0].max_peak_memory, curve[1].max_peak_memory);
+}
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").Increment();
+  reg.counter("a").Increment(4);
+  EXPECT_EQ(reg.counter("a").value(), 5);
+  reg.gauge("g").Set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 2.5);
+  reg.histogram("h").Observe(1.0);
+  reg.histogram("h").Observe(3.0);
+  EXPECT_EQ(reg.histogram("h").count(), 2);
+  EXPECT_DOUBLE_EQ(reg.histogram("h").mean(), 2.0);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\": 5"), std::string::npos);
+  const std::string text = reg.ToText();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  reg.Reset();
+  EXPECT_EQ(reg.counter("a").value(), 0);
+}
+
+TEST(MetricsRegistry, EngineAndPlannerFeedTheGlobalRegistry) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.Reset();
+
+  const Fig3 fig;
+  (void)fig.Report();
+  EXPECT_GE(reg.counter("sim.runs").value(), 1);
+  EXPECT_GT(reg.counter("sim.tasks_executed").value(), 0);
+  EXPECT_GE(reg.histogram("sim.makespan").count(), 1);
+
+  planner::PlannerOptions po;
+  po.global_batch_size = 8;
+  planner::DapplePlanner planner(fig.model, fig.cluster, po);
+  (void)planner.Plan();
+  EXPECT_GE(reg.counter("planner.plans").value(), 1);
+  EXPECT_GT(reg.counter("planner.estimator_calls").value(), 0);
+  EXPECT_GT(reg.counter("planner.candidates_evaluated").value(), 0);
+}
+
+}  // namespace
+}  // namespace dapple

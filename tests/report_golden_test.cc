@@ -1,0 +1,72 @@
+// Golden-file test for the iteration-report JSON exporter: the Fig. 3
+// scenario (two single-device stages, M = 4, DAPPLE schedule) must
+// serialize byte-for-byte to the checked-in document. Any change to the
+// report schema, the schedule shape, or the engine's tie-breaking shows up
+// as a diff here before it reaches downstream JSON consumers.
+//
+// To regenerate after an intentional change:
+//
+//   DAPPLE_REGEN_GOLDEN=1 ctest -L golden
+//
+// then review the diff of tests/golden/fig3_report.json by hand.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "model/zoo.h"
+#include "obs/report.h"
+#include "runtime/graph_builder.h"
+#include "sim/engine.h"
+#include "topo/cluster.h"
+#include "topo/device_set.h"
+
+namespace dapple {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(DAPPLE_GOLDEN_DIR) + "/fig3_report.json";
+}
+
+std::string RenderFig3Report() {
+  // Exact-representable layer times (2 ms / 4 ms) keep the report's doubles
+  // platform-independent (same construction as the trace golden).
+  const auto m = model::MakeUniformSynthetic(4, 0.002, 0.004, 1_MiB, 1'000'000);
+  const topo::Cluster cluster = topo::MakeConfigB(2);
+  planner::ParallelPlan plan;
+  plan.model = m.name();
+  plan.stages.push_back({0, 2, topo::DeviceSet::Range(0, 1)});
+  plan.stages.push_back({2, 4, topo::DeviceSet::Range(1, 1)});
+  runtime::BuildOptions options;
+  options.global_batch_size = 4;  // micro-batch size 1 => M = 4
+  options.schedule.kind = runtime::ScheduleKind::kDapple;
+  const runtime::BuiltPipeline built =
+      runtime::GraphBuilder(m, cluster, plan, options).Build();
+  const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+  return obs::ToJson(obs::BuildIterationReport(built, result)) + "\n";
+}
+
+TEST(ReportGoldenTest, Fig3IterationReportMatchesGolden) {
+  const std::string json = RenderFig3Report();
+
+  if (std::getenv("DAPPLE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << json;
+    GTEST_SKIP() << "regenerated " << GoldenPath() << "; review the diff";
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << GoldenPath()
+                         << " (run with DAPPLE_REGEN_GOLDEN=1 to create)";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(json, buffer.str())
+      << "iteration-report JSON drifted from the golden file; if intentional, "
+         "regenerate with DAPPLE_REGEN_GOLDEN=1 and review the diff";
+}
+
+}  // namespace
+}  // namespace dapple

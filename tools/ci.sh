@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Local CI: configure + build + unit-test the tree twice — once plain, once
+# under AddressSanitizer/UBSan (DAPPLE_SANITIZE=address,undefined).
+#
+#   tools/ci.sh [build-dir-prefix]
+#
+# The two build trees land in <prefix> and <prefix>-asan (default: build-ci).
+# Heavier tiers stay opt-in: `ctest -L fuzz` / `ctest -L golden`, and the
+# 100k-seed sweep via `DAPPLE_FUZZ_ITERATIONS=100000 ctest -L fuzz` or
+# `tools/dapple_fuzz --iterations 100000`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-ci}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local dir="$1"
+  shift
+  echo "=== configure ${dir} ($*)"
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "=== build ${dir}"
+  cmake --build "${dir}" -j "${jobs}" >/dev/null
+  echo "=== ctest -L unit (${dir})"
+  ctest --test-dir "${dir}" -L unit --output-on-failure -j "${jobs}"
+}
+
+run_suite "${prefix}"
+run_suite "${prefix}-asan" -DDAPPLE_SANITIZE=address,undefined
+echo "=== ci ok"

@@ -9,6 +9,14 @@
 //              [--gantt] [--trace FILE.json]
 //       Execute one iteration on the simulated cluster; optionally render
 //       an ASCII Gantt chart or export a chrome://tracing JSON file.
+//   dapple report <model> <config> <servers> <gbs>
+//              [--plan FILE] [--schedule dapple|gpipe] [--recompute]
+//              [--json FILE] [--peak-vs-m M1,M2,...]
+//   dapple report --fig3 [--json FILE]
+//       Execute one iteration and print the structured iteration report
+//       (bubble ratios, time split, phases, links, memory); --json exports
+//       the machine-readable document, --fig3 runs the paper's two-stage
+//       example.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,7 +39,11 @@ int Usage() {
                "  dapple plan <model> <A|B|C> <servers> <gbs> [--save FILE]\n"
                "  dapple run  <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
                "              [--schedule dapple|gpipe] [--recompute] [--gantt]\n"
-               "              [--trace FILE.json]\n");
+               "              [--trace FILE.json]\n"
+               "  dapple report <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
+               "              [--schedule dapple|gpipe] [--recompute]\n"
+               "              [--json FILE] [--peak-vs-m M1,M2,...]\n"
+               "  dapple report --fig3 [--json FILE]\n");
   return 2;
 }
 
@@ -145,6 +157,123 @@ int CmdRun(int argc, char** argv) {
   return 0;
 }
 
+// The paper's Fig. 3 worked example: a two-stage uniform pipeline on one
+// ConfigB server pair, M = 4 micro-batches. The values in the report are
+// small enough to check by hand; the golden/unit tests pin exactly this
+// configuration.
+struct Fig3Example {
+  model::ModelProfile model = model::MakeUniformSynthetic(4, 0.002, 0.004, 1_MiB, 1'000'000);
+  topo::Cluster cluster = topo::MakeConfigB(2);
+  planner::ParallelPlan plan;
+  runtime::BuildOptions options;
+
+  Fig3Example() {
+    plan.model = model.name();
+    for (int s = 0; s < 2; ++s) {
+      planner::StagePlan sp;
+      sp.layer_begin = 2 * s;
+      sp.layer_end = 2 * (s + 1);
+      sp.devices = topo::DeviceSet::Range(s, 1);
+      plan.stages.push_back(sp);
+    }
+    options.global_batch_size = 4;
+    options.micro_batch_size = 1;
+    options.enforce_memory_capacity = false;
+  }
+};
+
+int WriteJsonFile(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("report written to %s\n", path.c_str());
+  return 0;
+}
+
+int CmdReport(int argc, char** argv) {
+  std::string json_path;
+  if (argc >= 1 && std::strcmp(argv[0], "--fig3") == 0) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        json_path = argv[++i];
+      } else {
+        return Usage();
+      }
+    }
+    const Fig3Example ex;
+    runtime::PipelineExecutor executor(ex.model, ex.cluster, ex.plan, ex.options);
+    const runtime::ExecutionDetail detail = executor.RunDetailed();
+    const obs::IterationReport report =
+        obs::BuildIterationReport(detail.pipeline, detail.result);
+    std::printf("%s", obs::ToText(report).c_str());
+    if (!json_path.empty()) return WriteJsonFile(json_path, obs::ToJson(report));
+    return 0;
+  }
+
+  if (argc < 4) return Usage();
+  const model::ModelProfile m = model::ModelByName(argv[0]);
+  const topo::Cluster cluster = ClusterFor(argv[1][0], std::atoi(argv[2]));
+  const long gbs = std::atol(argv[3]);
+
+  std::string plan_path;
+  std::vector<int> curve_counts;
+  runtime::BuildOptions options;
+  options.global_batch_size = gbs;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
+      plan_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
+      const std::string kind = argv[++i];
+      options.schedule.kind = kind == "gpipe" ? runtime::ScheduleKind::kGPipe
+                                              : runtime::ScheduleKind::kDapple;
+    } else if (std::strcmp(argv[i], "--recompute") == 0) {
+      options.schedule.recompute = true;
+    } else if (std::strcmp(argv[i], "--peak-vs-m") == 0 && i + 1 < argc) {
+      for (const char* p = argv[++i]; *p;) {
+        curve_counts.push_back(std::atoi(p));
+        while (*p && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  Session session(m, cluster);
+  planner::ParallelPlan plan;
+  if (!plan_path.empty()) {
+    plan = planner::LoadPlan(plan_path);
+    plan.Validate(m);
+  } else {
+    plan = session.Plan(gbs).plan;
+  }
+
+  runtime::PipelineExecutor executor(m, cluster, plan, options);
+  const runtime::ExecutionDetail detail = executor.RunDetailed();
+  const obs::IterationReport report =
+      obs::BuildIterationReport(detail.pipeline, detail.result);
+  std::printf("%s", obs::ToText(report).c_str());
+
+  if (!curve_counts.empty()) {
+    const auto curve = obs::PeakVsMCurve(m, cluster, plan, options, curve_counts);
+    AsciiTable t({"M", "Max peak memory"});
+    for (const obs::PeakVsMPoint& p : curve) {
+      t.AddRow({AsciiTable::Int(p.num_micro_batches), FormatBytes(p.max_peak_memory)});
+    }
+    std::printf("\npeak memory vs micro-batch count (fixed micro-batch size):\n%s",
+                t.ToString().c_str());
+  }
+  if (!json_path.empty()) return WriteJsonFile(json_path, obs::ToJson(report));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +282,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "zoo") == 0) return CmdZoo();
     if (std::strcmp(argv[1], "plan") == 0) return CmdPlan(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "run") == 0) return CmdRun(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "report") == 0) return CmdReport(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

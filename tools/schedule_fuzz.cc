@@ -8,6 +8,7 @@
 //
 // Each case derives entirely from its 64-bit seed, so any failure printed
 // by the batch mode reproduces exactly with --repro.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,7 +67,12 @@ int main(int argc, char** argv) {
   }
   if (iterations <= 0) return Usage();
 
+  // Tolerance calibration: track the worst observed analytic/sim ratio per
+  // plan family (the constants in check/fuzz.h are pinned from sweeps of
+  // this tool) and the worst sim/analytic ratio.
   long latency_checked = 0, peak_checked = 0;
+  double max_over_single = 0.0, max_over_multi = 0.0, max_under = 0.0;
+  std::uint64_t worst_multi_seed = 0;
   for (long i = 0; i < iterations; ++i) {
     const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
     const check::FuzzCase c = check::MakeFuzzCase(seed);
@@ -78,11 +84,27 @@ int main(int argc, char** argv) {
     }
     latency_checked += out.checked_latency ? 1 : 0;
     peak_checked += out.checked_peak ? 1 : 0;
+    if (out.checked_latency && out.simulated_makespan > 0.0 && out.analytic_latency > 0.0) {
+      const double over = out.analytic_latency / out.simulated_makespan;
+      if (c.plan.num_stages() == 1) {
+        max_over_single = std::max(max_over_single, over);
+      } else if (over > max_over_multi) {
+        max_over_multi = over;
+        worst_multi_seed = seed;
+      }
+      max_under = std::max(max_under, out.simulated_makespan / out.analytic_latency);
+    }
   }
   std::printf("%ld cases ok (seeds %llu..%llu): latency bracket on %ld, "
               "peak-vs-M differential on %ld\n",
               iterations, static_cast<unsigned long long>(base),
               static_cast<unsigned long long>(base + iterations - 1),
               latency_checked, peak_checked);
+  if (latency_checked > 0) {
+    std::printf("max analytic/sim: %.4f (single-stage), %.4f (multi-stage, seed %llu); "
+                "max sim/analytic: %.4f\n",
+                max_over_single, max_over_multi,
+                static_cast<unsigned long long>(worst_multi_seed), max_under);
+  }
   return 0;
 }
