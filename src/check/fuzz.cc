@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "fault/degrade.h"
 #include "planner/dp_planner.h"
 #include "planner/latency.h"
 #include "sim/engine.h"
@@ -158,6 +159,118 @@ std::string FuzzOutcome::Summary() const {
        << " B at 2M\n";
   }
   return os.str();
+}
+
+std::string FaultFuzzCase::Describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " model=" << model.num_layers() << "L cluster=" << cluster.name()
+     << "(" << cluster.num_devices() << ") plan=" << plan.ToString() << " gbs="
+     << options.build.global_batch_size << " policy=" << fault::ToString(policy)
+     << " horizon=" << options.horizon << " faults={";
+  for (std::size_t i = 0; i < script.events.size(); ++i) {
+    os << (i ? "; " : "") << script.events[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+FaultFuzzCase MakeFaultFuzzCase(std::uint64_t seed) {
+  // Decorrelated from MakeFuzzCase's stream: same mixing, different salt.
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x8e2f9d4a7c15b36dull);
+  model::ModelProfile model = RandomModel(rng);
+  topo::Cluster cluster = RandomCluster(rng);
+
+  fault::FaultOptions options;
+  options.build.global_batch_size = rng.UniformInt(1, 6) * 4 * model.profile_micro_batch();
+  options.build.schedule.kind = rng.Bernoulli(0.7) ? runtime::ScheduleKind::kDapple
+                                                   : runtime::ScheduleKind::kGPipe;
+  options.build.schedule.recompute = rng.Bernoulli(0.2);
+  options.build.enforce_memory_capacity = false;
+  options.horizon = rng.Uniform(2.0, 20.0);
+  options.max_iterations = 60;
+  options.checkpoint_period = static_cast<int>(rng.UniformInt(2, 6));
+  options.checkpoint_cost = rng.Uniform(0.0, 0.1);
+  options.restore_cost = rng.Uniform(0.1, 1.0);
+  options.detect_latency = rng.Uniform(0.0, 0.3);
+  options.replan_cost = rng.Uniform(0.1, 1.0);
+  options.planner.latency.check_memory = false;
+  options.planner.keep_alternatives = 0;
+  options.planner.max_stages = 4;
+
+  planner::ParallelPlan plan = RandomPlan(rng, model, cluster);
+
+  fault::RandomFaultOptions random;
+  random.horizon = options.horizon;
+  random.max_events = 4;
+  fault::FaultScript script = fault::RandomFaultScript(rng.Fork(), cluster, random);
+
+  const auto policy = static_cast<fault::RecoveryPolicy>(seed % 3);
+  return FaultFuzzCase{seed,   std::move(model),  std::move(cluster), std::move(plan),
+                       std::move(script), policy, std::move(options)};
+}
+
+std::string FaultFuzzOutcome::Summary() const {
+  if (ok()) return "";
+  std::ostringstream os;
+  os << "fault fuzz case failed (reproduce with seed " << seed << "):\n" << report.ToString();
+  return os.str();
+}
+
+FaultFuzzOutcome RunFaultFuzzCase(const FaultFuzzCase& c) {
+  FaultFuzzOutcome out;
+  out.seed = c.seed;
+
+  fault::FaultOptions options = c.options;
+  // Every pipeline the experiment builds — including checkpoint remaps and
+  // elastic replans on degraded clusters — must satisfy the full invariant
+  // set when executed fault-free.
+  options.pipeline_observer = [&](const runtime::BuiltPipeline& built,
+                                  const planner::ParallelPlan& plan,
+                                  const topo::Cluster& cluster) {
+    (void)cluster;
+    const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+    ScheduleValidator validator(plan, built.options);
+    ValidationReport report = validator.Validate(built, result);
+    for (Violation& v : report.violations) {
+      v.message = "[plan " + plan.ToString() + "] " + v.message;
+      out.report.violations.push_back(std::move(v));
+    }
+    ++out.pipelines_validated;
+  };
+
+  try {
+    const fault::FaultReport report =
+        fault::RunFaultExperiment(c.model, c.cluster, c.plan, c.script, c.policy, options);
+    out.iterations_completed = report.iterations_completed;
+    out.replans = report.replans;
+    out.restores = report.restores;
+
+    // Structural sanity of the report itself.
+    if (report.iterations_completed < 0 || report.goodput < 0.0) {
+      out.report.violations.push_back(
+          {"fault-report", "negative progress in the fault report"});
+    }
+    TimeSec previous_end = 0.0;
+    for (const fault::TimelineRow& row : report.timeline) {
+      if (row.end < row.start) {
+        out.report.violations.push_back(
+            {"fault-timeline", row.kind + " row runs backwards"});
+      }
+      if (row.start < previous_end - 1e-9) {
+        out.report.violations.push_back(
+            {"fault-timeline", row.kind + " row overlaps its predecessor"});
+      }
+      previous_end = row.end;
+    }
+    if (report.recovered && report.time_to_recover < 0.0) {
+      out.report.violations.push_back(
+          {"fault-report", "recovered with a negative time-to-recover"});
+    }
+  } catch (const std::exception& e) {
+    out.report.violations.push_back(
+        {"exception", std::string("fault experiment threw: ") + e.what()});
+  }
+  return out;
 }
 
 FuzzOutcome RunFuzzCase(const FuzzCase& c) {

@@ -19,6 +19,8 @@
 #include <string>
 
 #include "check/validator.h"
+#include "fault/recovery.h"
+#include "fault/script.h"
 #include "model/profile.h"
 #include "planner/plan.h"
 #include "runtime/graph_builder.h"
@@ -91,6 +93,47 @@ FuzzOutcome RunFuzzCase(const FuzzCase& c);
 
 inline FuzzOutcome RunFuzzSeed(std::uint64_t seed) {
   return RunFuzzCase(MakeFuzzCase(seed));
+}
+
+/// One generated fault-recovery configuration: a schedule-fuzz style
+/// (model, cluster, plan) plus a seeded random fault script and a recovery
+/// policy (cycled by seed). Aggregate-constructed by MakeFaultFuzzCase.
+struct FaultFuzzCase {
+  std::uint64_t seed;
+  model::ModelProfile model;
+  topo::Cluster cluster;
+  planner::ParallelPlan plan;
+  fault::FaultScript script;
+  fault::RecoveryPolicy policy;
+  fault::FaultOptions options;
+
+  std::string Describe() const;
+};
+
+FaultFuzzCase MakeFaultFuzzCase(std::uint64_t seed);
+
+/// Everything observed while running one fault case. Every pipeline the
+/// experiment builds — initial, checkpoint-remapped, elastically replanned —
+/// is executed fault-free and pushed through the full ScheduleValidator
+/// invariant set; the experiment's own report is sanity-checked on top.
+struct FaultFuzzOutcome {
+  std::uint64_t seed = 0;
+  /// Merged violations across every validated pipeline, each prefixed with
+  /// the plan it came from.
+  ValidationReport report;
+  int pipelines_validated = 0;
+  int iterations_completed = 0;
+  int replans = 0;
+  int restores = 0;
+
+  bool ok() const { return report.ok(); }
+  std::string Summary() const;
+};
+
+FaultFuzzOutcome RunFaultFuzzCase(const FaultFuzzCase& c);
+
+inline FaultFuzzOutcome RunFaultFuzzSeed(std::uint64_t seed) {
+  return RunFaultFuzzCase(MakeFaultFuzzCase(seed));
 }
 
 }  // namespace dapple::check

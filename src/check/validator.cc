@@ -433,9 +433,10 @@ ValidationReport ScheduleValidator::Validate(const runtime::BuiltPipeline& built
   // Cross-stage transfers: one per direction per (boundary, micro-batch),
   // with split/concat fan-in from every producing replica and fan-out to
   // every consuming replica (paper Fig. 9 / Fig. 11).
+  const runtime::ResourceLayout layout = built.layout();
   for (int i = 0; i + 1 < num_stages; ++i) {
-    const sim::ResourceId fwd_channel = built.num_devices + 2 * i;
-    const sim::ResourceId bwd_channel = built.num_devices + 2 * i + 1;
+    const sim::ResourceId fwd_channel = layout.ForwardChannel(i);
+    const sim::ResourceId bwd_channel = layout.BackwardChannel(i);
     std::vector<std::vector<sim::TaskId>> txf(static_cast<std::size_t>(m_total)),
         txb(static_cast<std::size_t>(m_total));
     for (const sim::Task& t : graph.tasks()) {

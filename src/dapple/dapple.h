@@ -17,6 +17,10 @@
 #include "check/fuzz.h"
 #include "check/validator.h"
 #include "comm/cost_model.h"
+#include "fault/degrade.h"
+#include "fault/recovery.h"
+#include "fault/report.h"
+#include "fault/script.h"
 #include "model/profile.h"
 #include "model/profiler.h"
 #include "model/zoo.h"

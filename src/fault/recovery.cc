@@ -1,0 +1,306 @@
+#include "fault/recovery.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+#include "sim/engine.h"
+
+namespace dapple::fault {
+
+namespace {
+
+constexpr TimeSec kInf = std::numeric_limits<TimeSec>::infinity();
+
+/// One running configuration: a plan built against a (possibly degraded)
+/// cluster, plus the id map back to the original and the state it targets.
+struct Config {
+  planner::ParallelPlan plan;
+  topo::Cluster cluster;
+  std::vector<topo::DeviceId> to_original_device;
+  runtime::BuiltPipeline built;
+  ClusterState planned_state;
+};
+
+std::vector<topo::DeviceId> IdentityMap(int n) {
+  std::vector<topo::DeviceId> map(static_cast<std::size_t>(n));
+  for (int d = 0; d < n; ++d) map[static_cast<std::size_t>(d)] = d;
+  return map;
+}
+
+ClusterState HealthyState(const topo::Cluster& cluster) {
+  return StateAt(FaultScript{}, cluster, 0.0);
+}
+
+/// Earliest crash time a run starting at t would hit; +inf when none.
+/// Crashes whose device the current configuration already excludes
+/// (`handled_dead`) no longer disrupt anything.
+TimeSec NextCrash(const FaultScript& script, TimeSec t,
+                  const std::vector<bool>* handled_dead = nullptr) {
+  TimeSec next = kInf;
+  for (const FaultEvent& e : script.events) {
+    if (e.kind != FaultKind::kDeviceCrash) continue;
+    if (handled_dead != nullptr && (*handled_dead)[static_cast<std::size_t>(e.device)]) {
+      continue;
+    }
+    next = std::min(next, std::max(e.start, t));
+  }
+  return next;
+}
+
+/// True when no fault-script boundary falls strictly inside (begin, end).
+bool NoBoundaryInside(const FaultScript& script, TimeSec begin, TimeSec end) {
+  for (const FaultEvent& e : script.events) {
+    if (e.start > begin && e.start < end) return false;
+    if (e.kind != FaultKind::kDeviceCrash && e.end > begin && e.end < end) return false;
+  }
+  return true;
+}
+
+/// True when some transient (non-crash) window overlaps [begin, end).
+bool WindowOverlaps(const FaultScript& script, TimeSec begin, TimeSec end) {
+  for (const FaultEvent& e : script.events) {
+    if (e.kind == FaultKind::kDeviceCrash) continue;
+    if (e.start < end && e.end > begin) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* ToString(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kSyncStall: return "stall";
+    case RecoveryPolicy::kCheckpointRestart: return "checkpoint";
+    case RecoveryPolicy::kElasticReplan: return "replan";
+  }
+  return "?";
+}
+
+RecoveryPolicy ParseRecoveryPolicy(const std::string& name) {
+  if (name == "stall") return RecoveryPolicy::kSyncStall;
+  if (name == "checkpoint") return RecoveryPolicy::kCheckpointRestart;
+  if (name == "replan") return RecoveryPolicy::kElasticReplan;
+  throw Error("unknown recovery policy '" + name + "' (stall | checkpoint | replan)");
+}
+
+FaultReport RunFaultExperiment(const model::ModelProfile& model, const topo::Cluster& cluster,
+                               const planner::ParallelPlan& plan, const FaultScript& script,
+                               RecoveryPolicy policy, const FaultOptions& options) {
+  DAPPLE_CHECK_GT(options.build.global_batch_size, 0) << "global batch size required";
+  script.Validate(cluster);
+
+  FaultReport report;
+  report.policy = policy;
+  report.model = model.name();
+  report.cluster = cluster.name();
+  report.script = script;
+  report.global_batch_size = options.build.global_batch_size;
+  report.initial_plan = plan.ToString();
+
+  auto build_config = [&](planner::ParallelPlan p, topo::Cluster c,
+                          std::vector<topo::DeviceId> map, ClusterState state) {
+    runtime::BuiltPipeline built =
+        runtime::GraphBuilder(model, c, p, options.build).Build();
+    if (options.pipeline_observer) options.pipeline_observer(built, p, c);
+    return Config{std::move(p), std::move(c), std::move(map), std::move(built),
+                  std::move(state)};
+  };
+
+  Config config =
+      build_config(plan, cluster, IdentityMap(cluster.num_devices()), HealthyState(cluster));
+
+  {
+    const sim::SimResult healthy =
+        sim::Engine::Run(config.built.graph, config.built.engine_options);
+    report.healthy_iteration_time = healthy.makespan;
+    report.healthy_throughput =
+        static_cast<double>(report.global_batch_size) / healthy.makespan;
+  }
+  const TimeSec horizon =
+      options.horizon > 0.0 ? options.horizon : 25.0 * report.healthy_iteration_time;
+  report.horizon = horizon;
+
+  const TimeSec onset = script.empty() ? 0.0 : script.FirstOnset();
+  planner::PlannerOptions planner_options = options.planner;
+  if (planner_options.global_batch_size == 0) {
+    planner_options.global_batch_size = options.build.global_batch_size;
+  }
+
+  TimeSec t = 0.0;
+  int iterations = 0;
+  int last_checkpoint_iter = 0;
+  TimeSec recovered_start = kInf;  // start of the first clean post-onset iteration
+  bool halted = false;
+  int steps = 0;
+
+  auto halt = [&](TimeSec from, const std::string& why) {
+    report.timeline.push_back({"stall", from, horizon, -1, why});
+    t = horizon;
+    halted = true;
+  };
+
+  while (t < horizon && !halted && steps++ < options.max_iterations) {
+    // Elastic replans at iteration boundaries whenever the observed cluster
+    // state no longer matches the one the running plan targets.
+    if (policy == RecoveryPolicy::kElasticReplan) {
+      const ClusterState now = StateAt(script, cluster, t);
+      if (now != config.planned_state) {
+        const DegradedCluster degraded = MakeDegradedCluster(cluster, now);
+        if (!degraded.feasible) {
+          halt(t, "no surviving server to replan onto");
+          break;
+        }
+        planner::ParallelPlan next_plan;
+        try {
+          next_plan =
+              planner::DapplePlanner(model, degraded.cluster, planner_options).Plan().plan;
+        } catch (const Error&) {
+          const auto remapped = RemapPlanToCluster(config.plan, degraded);
+          if (!remapped) {
+            halt(t, "planner found no feasible plan on the degraded cluster");
+            break;
+          }
+          next_plan = *remapped;
+        }
+        const TimeSec done = t + options.replan_cost;
+        report.timeline.push_back(
+            {"replan", t, done, -1, "replanned onto " + degraded.cluster.name() + " as " +
+                                        next_plan.ToString()});
+        ++report.replans;
+        config = build_config(std::move(next_plan), degraded.cluster,
+                              degraded.to_original_device, now);
+        t = done;
+        continue;  // state may have shifted again while replanning
+      }
+    }
+
+    sim::EngineOptions engine_options = config.built.engine_options;
+    engine_options.resource_speeds =
+        BuildSpeedProfiles(script, cluster, config.to_original_device, config.plan,
+                           config.built, t, &config.planned_state);
+    engine_options.allow_incomplete = script.HasCrash();
+    const sim::SimResult result = sim::Engine::Run(config.built.graph, engine_options);
+
+    if (result.completed) {
+      const TimeSec end = t + result.makespan;
+      report.timeline.push_back(
+          {"iteration", t, end, iterations, config.plan.ToString()});
+      if (recovered_start == kInf && (script.empty() || t >= onset)) {
+        bool clean;
+        if (policy == RecoveryPolicy::kElasticReplan) {
+          clean = StateAt(script, cluster, t) == config.planned_state &&
+                  NoBoundaryInside(script, t, end);
+        } else {
+          // Stall and checkpoint never adapt to transient windows: clean
+          // means no window touches the iteration and every crash so far is
+          // one this config was (re)built without.
+          clean = !WindowOverlaps(script, t, end) &&
+                  StateAt(script, cluster, t).device_dead == config.planned_state.device_dead &&
+                  NextCrash(script, t, &config.planned_state.device_dead) >= end;
+        }
+        if (clean) {
+          recovered_start = t;
+          report.recovered = true;
+          report.time_to_recover = end - onset;
+        }
+      }
+      t = end;
+      ++iterations;
+      if (policy == RecoveryPolicy::kCheckpointRestart &&
+          iterations - last_checkpoint_iter >= options.checkpoint_period && t < horizon) {
+        report.timeline.push_back({"checkpoint", t, t + options.checkpoint_cost, -1,
+                                   "iteration " + std::to_string(iterations)});
+        t += options.checkpoint_cost;
+        last_checkpoint_iter = iterations;
+        ++report.checkpoints;
+      }
+      continue;
+    }
+
+    // The iteration stalled: a fail-stop crash pinned part of the graph.
+    const TimeSec crash_time = std::min(horizon, NextCrash(script, t));
+    ++report.iterations_lost;  // the in-flight iteration is gone
+    switch (policy) {
+      case RecoveryPolicy::kSyncStall:
+        halt(crash_time, "fail-stop device halts synchronous training");
+        break;
+      case RecoveryPolicy::kCheckpointRestart: {
+        const TimeSec resumed = crash_time + options.detect_latency + options.restore_cost;
+        const ClusterState now = StateAt(script, cluster, resumed);
+        const DegradedCluster degraded = MakeDegradedCluster(cluster, now);
+        const auto remapped = RemapPlanToCluster(config.plan, degraded);
+        if (!remapped) {
+          halt(crash_time, "no surviving devices fit the plan's stages");
+          break;
+        }
+        report.iterations_lost += iterations - last_checkpoint_iter;
+        iterations = last_checkpoint_iter;
+        report.timeline.push_back({"restore", crash_time, resumed, -1,
+                                   "rolled back to iteration " +
+                                       std::to_string(last_checkpoint_iter) + ", plan " +
+                                       remapped->ToString()});
+        ++report.restores;
+        config = build_config(*remapped, degraded.cluster, degraded.to_original_device, now);
+        t = resumed;
+        break;
+      }
+      case RecoveryPolicy::kElasticReplan: {
+        const TimeSec resumed = crash_time + options.detect_latency + options.replan_cost;
+        const ClusterState now = StateAt(script, cluster, resumed);
+        const DegradedCluster degraded = MakeDegradedCluster(cluster, now);
+        if (!degraded.feasible) {
+          halt(crash_time, "no surviving server to replan onto");
+          break;
+        }
+        planner::ParallelPlan next_plan;
+        try {
+          next_plan =
+              planner::DapplePlanner(model, degraded.cluster, planner_options).Plan().plan;
+        } catch (const Error&) {
+          const auto remapped = RemapPlanToCluster(config.plan, degraded);
+          if (!remapped) {
+            halt(crash_time, "planner found no feasible plan on the degraded cluster");
+            break;
+          }
+          next_plan = *remapped;
+        }
+        report.timeline.push_back({"replan", crash_time, resumed, -1,
+                                   "replanned onto " + degraded.cluster.name() + " as " +
+                                       next_plan.ToString()});
+        ++report.replans;
+        config = build_config(std::move(next_plan), degraded.cluster,
+                              degraded.to_original_device, now);
+        t = resumed;
+        break;
+      }
+    }
+  }
+
+  const TimeSec elapsed = std::max(t, horizon);
+  report.iterations_completed = iterations;
+  report.goodput = static_cast<double>(report.global_batch_size) * iterations / elapsed;
+  report.goodput_loss =
+      report.healthy_throughput > 0.0 ? 1.0 - report.goodput / report.healthy_throughput : 0.0;
+  report.final_plan = config.plan.ToString();
+
+  if (report.recovered) {
+    int post = 0;
+    for (const TimelineRow& row : report.timeline) {
+      if (row.kind == "iteration" && row.start >= recovered_start) ++post;
+    }
+    // Checkpoint rollback can discard iterations counted above; clamp so a
+    // rolled-back tail never inflates the post-fault rate.
+    post = std::min(post, iterations);
+    if (elapsed > recovered_start && post > 0) {
+      report.post_fault_throughput =
+          static_cast<double>(report.global_batch_size) * post / (elapsed - recovered_start);
+    }
+  } else {
+    report.time_to_recover = kInf;
+  }
+  return report;
+}
+
+}  // namespace dapple::fault

@@ -1,0 +1,192 @@
+#include "fault/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace dapple::fault {
+
+namespace {
+
+double FiniteOr(double v, double fallback) { return std::isfinite(v) ? v : fallback; }
+
+void WriteFault(obs::JsonWriter& w, const FaultEvent& e) {
+  w.BeginObject();
+  w.Field("kind", ToString(e.kind));
+  w.Field("start", e.start);
+  w.Field("end", FiniteOr(e.end, -1.0));
+  if (e.device >= 0) w.Field("device", e.device);
+  if (e.server >= 0) w.Field("server", e.server);
+  switch (e.kind) {
+    case FaultKind::kDeviceSlowdown:
+      w.Field("compute_multiplier", e.compute_multiplier);
+      break;
+    case FaultKind::kLinkDegradation:
+      w.Field("bandwidth_multiplier", e.bandwidth_multiplier);
+      w.Field("extra_latency", e.extra_latency);
+      break;
+    case FaultKind::kDeviceCrash:
+      break;
+  }
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ToJson(const FaultReport& report) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Field("policy", ToString(report.policy));
+  w.Field("model", report.model);
+  w.Field("cluster", report.cluster);
+  w.Field("initial_plan", report.initial_plan);
+  w.Field("final_plan", report.final_plan);
+  w.Field("global_batch_size", static_cast<std::int64_t>(report.global_batch_size));
+  w.Field("horizon", report.horizon);
+
+  w.Key("healthy").BeginObject();
+  w.Field("iteration_time", report.healthy_iteration_time);
+  w.Field("throughput", report.healthy_throughput);
+  w.EndObject();
+
+  w.Key("faults").BeginArray();
+  for (const FaultEvent& e : report.script.events) WriteFault(w, e);
+  w.EndArray();
+
+  w.Key("results").BeginObject();
+  w.Field("iterations_completed", report.iterations_completed);
+  w.Field("goodput", report.goodput);
+  w.Field("goodput_loss", report.goodput_loss);
+  w.Field("recovered", report.recovered);
+  w.Field("time_to_recover", FiniteOr(report.time_to_recover, -1.0));
+  w.Field("post_fault_throughput", report.post_fault_throughput);
+  w.Field("replans", report.replans);
+  w.Field("checkpoints", report.checkpoints);
+  w.Field("restores", report.restores);
+  w.Field("iterations_lost", report.iterations_lost);
+  w.EndObject();
+
+  w.Key("timeline").BeginArray();
+  for (const TimelineRow& row : report.timeline) {
+    w.BeginObject();
+    w.Field("kind", row.kind);
+    w.Field("start", row.start);
+    w.Field("end", row.end);
+    if (row.iteration >= 0) w.Field("iteration", row.iteration);
+    if (!row.note.empty()) w.Field("note", row.note);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.str();
+}
+
+std::string ToText(const FaultReport& report) {
+  std::ostringstream os;
+  char line[256];
+
+  os << "fault experiment: " << report.model << " on " << report.cluster << ", policy "
+     << ToString(report.policy) << "\n";
+  os << "  initial plan   " << report.initial_plan << "\n";
+  if (report.final_plan != report.initial_plan) {
+    os << "  final plan     " << report.final_plan << "\n";
+  }
+  os << "  faults:\n";
+  for (const FaultEvent& e : report.script.events) {
+    os << "    " << e.ToString() << "\n";
+  }
+
+  std::snprintf(line, sizeof(line), "  %-22s %12.6g s\n", "horizon", report.horizon);
+  os << line;
+  std::snprintf(line, sizeof(line), "  %-22s %12.6g s\n", "healthy iteration",
+                report.healthy_iteration_time);
+  os << line;
+  std::snprintf(line, sizeof(line), "  %-22s %12.6g samples/s\n", "healthy throughput",
+                report.healthy_throughput);
+  os << line;
+  std::snprintf(line, sizeof(line), "  %-22s %12d\n", "iterations completed",
+                report.iterations_completed);
+  os << line;
+  std::snprintf(line, sizeof(line), "  %-22s %12.6g samples/s\n", "goodput", report.goodput);
+  os << line;
+  std::snprintf(line, sizeof(line), "  %-22s %12.2f %%\n", "goodput loss",
+                100.0 * report.goodput_loss);
+  os << line;
+  if (report.recovered) {
+    std::snprintf(line, sizeof(line), "  %-22s %12.6g s\n", "time to recover",
+                  report.time_to_recover);
+    os << line;
+    std::snprintf(line, sizeof(line), "  %-22s %12.6g samples/s\n", "post-fault throughput",
+                  report.post_fault_throughput);
+    os << line;
+  } else {
+    std::snprintf(line, sizeof(line), "  %-22s %12s\n", "time to recover", "never");
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "  %-22s %4d replans, %d checkpoints, %d restores, %d lost\n",
+                "recovery actions", report.replans, report.checkpoints, report.restores,
+                report.iterations_lost);
+  os << line;
+  return os.str();
+}
+
+std::string ToChromeTrace(const FaultReport& report) {
+  obs::JsonWriter w;
+  const double to_us = 1e6;
+
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+
+  auto thread_name = [&](int tid, const char* name) {
+    w.BeginObject();
+    w.Field("name", "thread_name");
+    w.Field("ph", "M");
+    w.Field("pid", 0);
+    w.Field("tid", tid);
+    w.Key("args").BeginObject().Field("name", name).EndObject();
+    w.EndObject();
+  };
+  thread_name(0, "recovery timeline");
+  thread_name(1, "fault windows");
+
+  for (const TimelineRow& row : report.timeline) {
+    w.BeginObject();
+    std::string name = row.kind;
+    if (row.iteration >= 0) name += " " + std::to_string(row.iteration);
+    w.Field("name", name);
+    w.Field("ph", "X");
+    w.Field("ts", row.start * to_us);
+    w.Field("dur", (row.end - row.start) * to_us);
+    w.Field("pid", 0);
+    w.Field("tid", 0);
+    w.Key("args").BeginObject();
+    if (!row.note.empty()) w.Field("note", row.note);
+    w.EndObject();
+    w.EndObject();
+  }
+
+  for (const FaultEvent& e : report.script.events) {
+    const TimeSec end = std::isfinite(e.end) ? std::min(e.end, report.horizon) : report.horizon;
+    if (end <= e.start) continue;
+    w.BeginObject();
+    w.Field("name", e.ToString());
+    w.Field("ph", "X");
+    w.Field("ts", e.start * to_us);
+    w.Field("dur", (end - e.start) * to_us);
+    w.Field("pid", 0);
+    w.Field("tid", 1);
+    w.Key("args").BeginObject().Field("kind", ToString(e.kind)).EndObject();
+    w.EndObject();
+  }
+
+  w.EndArray();
+  w.Field("displayTimeUnit", "ms");
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace dapple::fault

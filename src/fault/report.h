@@ -1,0 +1,24 @@
+// Exporters for fault-recovery experiments: deterministic JSON (golden-
+// testable byte for byte), aligned-column text for terminals, and a Chrome
+// trace with the recovery timeline and fault windows as separate tracks.
+#pragma once
+
+#include <string>
+
+#include "fault/recovery.h"
+
+namespace dapple::fault {
+
+/// Deterministic JSON document (obs::JsonWriter formatting). Infinite
+/// time-to-recover is encoded as -1 alongside "recovered": false.
+std::string ToJson(const FaultReport& report);
+
+/// Aligned-column text rendering for terminals.
+std::string ToText(const FaultReport& report);
+
+/// Chrome trace-event JSON: one track for the recovery timeline
+/// (iterations, checkpoints, restores, replans, stalls) and one for the
+/// fault windows. Microseconds of simulated time, like sim/chrome_trace.
+std::string ToChromeTrace(const FaultReport& report);
+
+}  // namespace dapple::fault

@@ -14,16 +14,13 @@ namespace dapple::obs {
 
 namespace {
 
-std::string LinkName(int resource, int num_devices, const sim::Task& sample) {
+std::string LinkName(const runtime::ResourceLayout& layout, int resource,
+                     const sim::Task& sample) {
   if (sample.kind == sim::TaskKind::kAllReduce) {
     return "ar s" + std::to_string(sample.stage);
   }
-  // Cross-stage channels come in duplex pairs per boundary: even offset
-  // forward (activations downstream), odd offset backward (gradients
-  // upstream) — the layout graph_builder lays down.
-  const bool backward = (resource - num_devices) % 2 != 0;
   const int boundary = sample.stage;
-  if (backward) {
+  if (resource == layout.BackwardChannel(boundary)) {
     return "txb s" + std::to_string(boundary + 1) + "->s" + std::to_string(boundary);
   }
   return "txf s" + std::to_string(boundary) + "->s" + std::to_string(boundary + 1);
@@ -34,6 +31,7 @@ std::string LinkName(int resource, int num_devices, const sim::Task& sample) {
 IterationReport BuildIterationReport(const runtime::BuiltPipeline& pipeline,
                                      const sim::SimResult& result) {
   const sim::TaskGraph& graph = pipeline.graph;
+  const runtime::ResourceLayout layout = pipeline.layout();
   IterationReport report;
   report.makespan = result.makespan;
   report.schedule = runtime::ToString(pipeline.options.schedule.kind);
@@ -93,14 +91,14 @@ IterationReport BuildIterationReport(const runtime::BuiltPipeline& pipeline,
       LinkReport& link = links[task.resource];
       if (link.resource < 0) {
         link.resource = task.resource;
-        link.name = LinkName(task.resource, pipeline.num_devices, task);
+        link.name = LinkName(layout, task.resource, task);
       }
       link.transfers += 1;
       link.busy += duration;
       link.bytes += task.bytes;
       if (task.kind == sim::TaskKind::kTransfer) {
         report.split.transfer += duration;
-        const bool backward = (task.resource - pipeline.num_devices) % 2 != 0;
+        const bool backward = task.resource == layout.BackwardChannel(task.stage);
         if (!backward && task.stage >= 0) {
           stages[task.stage].outbound_transfer += duration;
           stages[task.stage + 1].inbound_transfer += duration;

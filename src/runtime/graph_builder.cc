@@ -53,6 +53,7 @@ BuiltPipeline GraphBuilder::Build() const {
 
   BuiltPipeline built;
   built.num_devices = num_devices;
+  built.num_stages = num_stages;
   built.options = options_;
   if (options_.micro_batch_size > 0) {
     built.micro_batch_size = options_.micro_batch_size;
@@ -134,9 +135,7 @@ BuiltPipeline GraphBuilder::Build() const {
   }
 
   // --- Resource ids ------------------------------------------------------
-  auto fwd_channel = [&](int boundary) { return num_devices + 2 * boundary; };
-  auto bwd_channel = [&](int boundary) { return num_devices + 2 * boundary + 1; };
-  const int ar_base = num_devices + 2 * std::max(0, num_stages - 1);
+  const ResourceLayout layout = built.layout();
 
   sim::TaskGraph& graph = built.graph;
 
@@ -226,7 +225,7 @@ BuiltPipeline GraphBuilder::Build() const {
       txf.name = "TXf " + std::to_string(i) + "->" + std::to_string(i + 1) + " m" +
                  std::to_string(m);
       txf.kind = sim::TaskKind::kTransfer;
-      txf.resource = fwd_channel(i);
+      txf.resource = layout.ForwardChannel(i);
       txf.duration = tx_time;
       txf.stage = i;
       txf.microbatch = m;
@@ -249,7 +248,7 @@ BuiltPipeline GraphBuilder::Build() const {
       txb.name = "TXb " + std::to_string(i + 1) + "->" + std::to_string(i) + " m" +
                  std::to_string(m);
       txb.kind = sim::TaskKind::kTransfer;
-      txb.resource = bwd_channel(i);
+      txb.resource = layout.BackwardChannel(i);
       txb.duration = btx_time;
       txb.stage = i;
       txb.microbatch = m;
@@ -306,7 +305,7 @@ BuiltPipeline GraphBuilder::Build() const {
       sim::Task ar;
       ar.name = "AR s" + std::to_string(i);
       ar.kind = sim::TaskKind::kAllReduce;
-      ar.resource = ar_base + i;
+      ar.resource = layout.AllReduceLane(i);
       if (options_.overlap_allreduce) {
         // Gradient buckets synchronize while the final micro-batch's
         // backward is still running (reverse-layer order); only the

@@ -45,6 +45,28 @@ struct BuildOptions {
   bool overlap_allreduce = true;
 };
 
+/// Resource-id layout shared by every built pipeline: device compute
+/// engines first, then one duplex channel pair per stage boundary, then one
+/// AllReduce lane per stage. Consumers (observability, validation, fault
+/// injection) derive channel ids from this instead of re-hardcoding the
+/// arithmetic.
+struct ResourceLayout {
+  int num_devices = 0;
+  int num_stages = 0;
+
+  int num_boundaries() const { return num_stages > 0 ? num_stages - 1 : 0; }
+  int num_resources() const { return num_devices + 2 * num_boundaries() + num_stages; }
+
+  bool IsDevice(sim::ResourceId r) const { return r >= 0 && r < num_devices; }
+  sim::ResourceId ForwardChannel(int boundary) const { return num_devices + 2 * boundary; }
+  sim::ResourceId BackwardChannel(int boundary) const {
+    return num_devices + 2 * boundary + 1;
+  }
+  sim::ResourceId AllReduceLane(int stage) const {
+    return num_devices + 2 * num_boundaries() + stage;
+  }
+};
+
 struct BuiltPipeline {
   sim::TaskGraph graph;
   sim::EngineOptions engine_options;
@@ -56,6 +78,10 @@ struct BuiltPipeline {
   /// The options the builder ran with (micro-batching resolved above); lets
   /// consumers such as check::ScheduleValidator re-derive expectations.
   BuildOptions options;
+  /// Number of computation stages (drives the resource layout).
+  int num_stages = 0;
+
+  ResourceLayout layout() const { return ResourceLayout{num_devices, num_stages}; }
 };
 
 class GraphBuilder {

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 #include <set>
 #include <sstream>
@@ -9,6 +10,36 @@
 #include "obs/metrics.h"
 
 namespace dapple::sim {
+
+TimeSec FinishTime(const ResourceSpeedProfile& profile, TimeSec start, TimeSec work) {
+  if (work <= 0.0) return start;
+  constexpr TimeSec kInf = std::numeric_limits<TimeSec>::infinity();
+  const auto& segs = profile.segments;
+  TimeSec t = start;
+  TimeSec remaining = work;
+  // Index of the segment active at `t` (-1 = the implicit unit-speed lead-in
+  // before the first breakpoint).
+  int i = -1;
+  while (i + 1 < static_cast<int>(segs.size()) &&
+         segs[static_cast<std::size_t>(i + 1)].start <= t) {
+    ++i;
+  }
+  for (;;) {
+    const double speed = i < 0 ? 1.0 : segs[static_cast<std::size_t>(i)].speed;
+    const TimeSec seg_end = i + 1 < static_cast<int>(segs.size())
+                                ? segs[static_cast<std::size_t>(i + 1)].start
+                                : kInf;
+    if (speed > 0.0) {
+      const TimeSec finish = t + remaining / speed;
+      if (finish <= seg_end) return finish;
+      remaining -= (seg_end - t) * speed;
+    } else if (seg_end == kInf) {
+      return kInf;  // trailing zero-speed segment: pinned forever
+    }
+    t = seg_end;
+    ++i;
+  }
+}
 
 double SimResult::Utilization(ResourceId r) const {
   if (makespan <= 0.0) return 0.0;
@@ -79,6 +110,23 @@ SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
   std::vector<int> pending(static_cast<std::size_t>(n));
   for (TaskId t = 0; t < n; ++t) pending[static_cast<std::size_t>(t)] = graph.in_degree(t);
 
+  // Per-resource speed profiles (nullptr = fixed unit speed, the exact
+  // legacy arithmetic: rec.end = now + duration and busy += duration).
+  std::vector<const ResourceSpeedProfile*> profile_of(
+      static_cast<std::size_t>(num_resources), nullptr);
+  for (const ResourceSpeedProfile& p : options.resource_speeds) {
+    DAPPLE_CHECK(p.resource >= 0 && p.resource < num_resources)
+        << "speed profile for unknown resource " << p.resource;
+    for (std::size_t s = 0; s < p.segments.size(); ++s) {
+      DAPPLE_CHECK(p.segments[s].speed >= 0.0) << "negative resource speed";
+      if (s > 0) {
+        DAPPLE_CHECK_GT(p.segments[s].start, p.segments[s - 1].start)
+            << "speed segments must be sorted by start";
+      }
+    }
+    if (!p.segments.empty()) profile_of[static_cast<std::size_t>(p.resource)] = &p;
+  }
+
   // Per-resource ready sets and busy flags.
   std::vector<std::set<TaskId, ReadyOrder>> ready(
       static_cast<std::size_t>(num_resources), std::set<TaskId, ReadyOrder>(ReadyOrder{&graph}));
@@ -97,11 +145,20 @@ SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
     auto& rec = result.records[static_cast<std::size_t>(id)];
     rec.id = id;
     rec.start = now;
-    rec.end = now + task.duration;
-    rec.executed = true;
+    rec.started = true;
+    const ResourceSpeedProfile* profile =
+        profile_of[static_cast<std::size_t>(task.resource)];
+    rec.end = profile ? FinishTime(*profile, now, task.duration) : now + task.duration;
     if (task.pool >= 0 && task.alloc_at_start > 0) {
       result.pools[static_cast<std::size_t>(task.pool)].Allocate(now, task.alloc_at_start);
     }
+    if (rec.end == std::numeric_limits<TimeSec>::infinity()) {
+      // Pinned by a permanent zero-speed window: the resource stays
+      // occupied, the task never completes, and its record stays
+      // executed = false.
+      return;
+    }
+    rec.executed = true;
     completions.push({rec.end, id});
   };
 
@@ -132,8 +189,14 @@ SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
     if (usage.tasks_executed == 0) {
       usage.first_start = result.records[static_cast<std::size_t>(done.task)].start;
     }
-    usage.busy += task.duration;
-    if (IsComputeKind(task.kind)) usage.compute_busy += task.duration;
+    // With a speed profile the wall-clock occupancy differs from the work;
+    // without one, use the duration directly to keep legacy runs bit-exact.
+    const TimeSec elapsed =
+        profile_of[static_cast<std::size_t>(task.resource)] != nullptr
+            ? done.time - result.records[static_cast<std::size_t>(done.task)].start
+            : task.duration;
+    usage.busy += elapsed;
+    if (IsComputeKind(task.kind)) usage.compute_busy += elapsed;
     usage.last_end = now;
     usage.tasks_executed++;
     result.makespan = std::max(result.makespan, now);
@@ -161,17 +224,25 @@ SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
   }
 
   if (executed != n) {
-    std::ostringstream os;
-    os << "task graph deadlock: executed " << executed << " of " << n
-       << " tasks; first blocked:";
-    int listed = 0;
-    for (TaskId t = 0; t < n && listed < 5; ++t) {
-      if (!result.records[static_cast<std::size_t>(t)].executed) {
-        os << " '" << graph.task(t).name << "'";
-        ++listed;
+    if (options.allow_incomplete) {
+      result.completed = false;
+      result.tasks_unfinished = n - executed;
+      // Pinned tasks hold unreleased allocations; leave the pools as they
+      // are — the partial state is what a fault-aborted iteration looks
+      // like, and callers discard it anyway.
+    } else {
+      std::ostringstream os;
+      os << "task graph deadlock: executed " << executed << " of " << n
+         << " tasks; first blocked:";
+      int listed = 0;
+      for (TaskId t = 0; t < n && listed < 5; ++t) {
+        if (!result.records[static_cast<std::size_t>(t)].executed) {
+          os << " '" << graph.task(t).name << "'";
+          ++listed;
+        }
       }
+      throw Error(os.str());
     }
-    throw Error(os.str());
   }
 
   auto& metrics = obs::MetricsRegistry::Global();

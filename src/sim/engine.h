@@ -25,7 +25,34 @@ struct TaskRecord {
   TimeSec start = 0.0;
   TimeSec end = 0.0;
   bool executed = false;
+  /// True once the task occupied its resource; a started-but-not-executed
+  /// task was pinned by a zero-speed window (fail-stop fault) forever.
+  bool started = false;
 };
+
+/// One breakpoint of a piecewise-constant resource speed function: the
+/// resource runs at `speed` from `start` until the next segment (or
+/// forever). Speed 0 models a fail-stop crash: work in flight makes no
+/// further progress.
+struct SpeedSegment {
+  TimeSec start = 0.0;
+  double speed = 1.0;
+};
+
+/// Time-varying speed of one resource. Before the first segment the
+/// resource runs at 1.0 — task durations are "work" at unit speed, so a
+/// fault-free profile reproduces the fixed-duration engine exactly.
+struct ResourceSpeedProfile {
+  ResourceId resource = 0;
+  std::vector<SpeedSegment> segments;  // sorted by start, strictly increasing
+};
+
+/// Wall-clock completion time of `work` units started at `start` under the
+/// profile: integrates speed over time segment by segment, so a task
+/// spanning a fault-window boundary is re-costed piecewise. Returns
+/// +infinity when a trailing zero-speed segment pins the remaining work
+/// forever.
+TimeSec FinishTime(const ResourceSpeedProfile& profile, TimeSec start, TimeSec work);
 
 /// Aggregate occupancy of one resource.
 struct ResourceUsage {
@@ -41,6 +68,13 @@ struct SimResult {
   std::vector<TaskRecord> records;      // indexed by TaskId
   std::vector<ResourceUsage> resources; // indexed by ResourceId
   std::vector<MemoryPool> pools;        // indexed by PoolId
+
+  /// False when the run stalled: some tasks could never finish (a
+  /// zero-speed resource pinned them, or their predecessors were pinned).
+  /// Only possible with EngineOptions::allow_incomplete.
+  bool completed = true;
+  /// Number of tasks that never completed (0 when completed).
+  int tasks_unfinished = 0;
 
   /// Fraction of the makespan a resource spent executing tasks.
   double Utilization(ResourceId r) const;
@@ -62,6 +96,14 @@ struct EngineOptions {
   std::vector<Bytes> pool_capacities;
   /// Always-resident bytes per pool (weights + optimizer state).
   std::vector<Bytes> pool_baselines;
+  /// Piecewise-constant speed multipliers per resource (fault windows,
+  /// degraded links). Resources without a profile run at 1.0 and keep the
+  /// fixed-duration fast path bit-for-bit.
+  std::vector<ResourceSpeedProfile> resource_speeds;
+  /// Return a partial SimResult (completed = false) instead of throwing
+  /// when some tasks can never finish — the fail-stop fault case, where a
+  /// crashed device pins its tasks while independent work drains normally.
+  bool allow_incomplete = false;
 };
 
 class Engine {

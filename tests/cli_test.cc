@@ -77,6 +77,35 @@ TEST(Cli, RunWithTraceAndGantt) {
   std::remove(trace_path.c_str());
 }
 
+TEST(Cli, FaultsComparesPoliciesAndWritesJson) {
+  const std::string json_path = TempPath("faults.json");
+  int code = 0;
+  const std::string out = RunCli(
+      "faults GNMT-16 B 2 8 --script-text \"slowdown server=1 start=1 mult=0.5\" "
+      "--policy all --horizon 5 --json " + json_path,
+      &code);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("fault script"), std::string::npos);
+  EXPECT_NE(out.find("stall"), std::string::npos);
+  EXPECT_NE(out.find("checkpoint"), std::string::npos);
+  EXPECT_NE(out.find("replan"), std::string::npos);
+  std::ifstream json(json_path);
+  ASSERT_TRUE(json.good());
+  std::string content((std::istreambuf_iterator<char>(json)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"policy\": \"replan\""), std::string::npos);
+  EXPECT_NE(content.find("\"goodput\""), std::string::npos);
+  std::remove(json_path.c_str());
+}
+
+TEST(Cli, FaultsRejectsBadScripts) {
+  int code = 0;
+  const std::string out =
+      RunCli("faults GNMT-16 B 2 8 --script-text \"explode device=0 at=1\"", &code);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(out.find("unknown event kind"), std::string::npos);
+}
+
 TEST(Cli, BadUsageFails) {
   int code = 0;
   RunCli("", &code);

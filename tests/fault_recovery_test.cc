@@ -1,0 +1,401 @@
+// Fault recovery subsystem (fault/degrade.h + fault/recovery.h): cluster
+// state snapshots, degraded-cluster construction, plan remapping, residual
+// speed profiles, and the three recovery policies end to end. The headline
+// acceptance case lives here at unit scale: on a persistent straggler the
+// elastic replan recovers measurably more goodput than the synchronous
+// stall baseline, and every pipeline the experiments build passes the full
+// ScheduleValidator invariant set.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "check/validator.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "fault/degrade.h"
+#include "fault/recovery.h"
+#include "fault/report.h"
+#include "fault/script.h"
+#include "model/zoo.h"
+#include "planner/plan.h"
+#include "runtime/graph_builder.h"
+#include "topo/cluster.h"
+#include "topo/device_set.h"
+
+namespace dapple::fault {
+namespace {
+
+model::ModelProfile EightLayerModel() {
+  // Exact-representable layer times keep every simulated timestamp (and the
+  // golden-style JSON determinism assertions below) platform-independent.
+  return model::MakeUniformSynthetic(8, 0.002, 0.004, 1_MiB, 1'000'000);
+}
+
+planner::ParallelPlan TwoStagePlan(const model::ModelProfile& m, int replicas_per_stage) {
+  planner::ParallelPlan plan;
+  plan.model = m.name();
+  plan.stages.push_back({0, 4, topo::DeviceSet::Range(0, replicas_per_stage)});
+  plan.stages.push_back({4, 8, topo::DeviceSet::Range(replicas_per_stage, replicas_per_stage)});
+  return plan;
+}
+
+FaultOptions FastOptions(long global_batch_size) {
+  FaultOptions options;
+  options.build.global_batch_size = global_batch_size;
+  options.planner.keep_alternatives = 0;
+  options.horizon = 10.0;
+  return options;
+}
+
+// --- ClusterState / StateAt ------------------------------------------------
+
+TEST(FaultStateTest, StateAtComposesWindowsAndKeepsCrashesPermanent) {
+  const topo::Cluster cluster = topo::MakeConfigB(2);
+  const FaultScript script = ParseFaultScript(
+      "slowdown device=0 start=1 end=6 mult=0.5\n"
+      "slowdown server=0 start=2 end=4 mult=0.8\n"
+      "crash device=1 at=5\n");
+
+  const ClusterState before = StateAt(script, cluster, 0.5);
+  EXPECT_FALSE(before.Degraded());
+
+  // Both windows active: device- and server-targeted slowdowns compose
+  // multiplicatively into the server's control-plane multiplier.
+  const ClusterState mid = StateAt(script, cluster, 3.0);
+  EXPECT_DOUBLE_EQ(mid.server_compute[0], 0.4);
+  EXPECT_FALSE(mid.AnyDead());
+  EXPECT_TRUE(mid.Degraded());
+
+  // Windows expire; the crash never does.
+  const ClusterState late = StateAt(script, cluster, 100.0);
+  EXPECT_DOUBLE_EQ(late.server_compute[0], 1.0);
+  EXPECT_TRUE(late.device_dead[1]);
+  EXPECT_TRUE(late.AnyDead());
+  EXPECT_NE(mid, late);
+}
+
+// --- MakeDegradedCluster ---------------------------------------------------
+
+TEST(FaultDegradeTest, DeadDeviceDrainsItsServerAndIdsStayDense) {
+  const topo::Cluster cluster = topo::MakeConfigB(3);
+  ClusterState state = StateAt(FaultScript{}, cluster, 0.0);
+  state.device_dead[1] = true;
+  state.server_compute[2] = 0.5;
+
+  const DegradedCluster degraded = MakeDegradedCluster(cluster, state);
+  ASSERT_TRUE(degraded.feasible);
+  EXPECT_EQ(degraded.cluster.num_servers(), 2);
+  ASSERT_EQ(degraded.to_original_server, (std::vector<topo::ServerId>{0, 2}));
+  EXPECT_EQ(degraded.to_original_device, (std::vector<topo::DeviceId>{0, 2}));
+  EXPECT_EQ(degraded.from_original_device, (std::vector<topo::DeviceId>{0, -1, 1}));
+  // The straggler multiplier is baked into the planning cluster.
+  EXPECT_DOUBLE_EQ(degraded.cluster.server_speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(degraded.cluster.server_speed(1), 0.5);
+}
+
+TEST(FaultDegradeTest, LinkDegradationScalesTheSurvivingFabric) {
+  const topo::Cluster cluster = topo::MakeConfigB(2);
+  ClusterState state = StateAt(FaultScript{}, cluster, 0.0);
+  state.server_bandwidth[1] = 0.25;
+  state.server_extra_latency[1] = 0.001;
+
+  const DegradedCluster degraded = MakeDegradedCluster(cluster, state);
+  ASSERT_TRUE(degraded.feasible);
+  EXPECT_DOUBLE_EQ(degraded.cluster.interconnect().inter_server_bandwidth,
+                   cluster.interconnect().inter_server_bandwidth * 0.25);
+  EXPECT_DOUBLE_EQ(degraded.cluster.interconnect().inter_server_latency,
+                   cluster.interconnect().inter_server_latency + 0.001);
+}
+
+TEST(FaultDegradeTest, NoSurvivingServerIsInfeasible) {
+  const topo::Cluster cluster = topo::MakeConfigB(1);
+  ClusterState state = StateAt(FaultScript{}, cluster, 0.0);
+  state.device_dead[0] = true;
+  const DegradedCluster degraded = MakeDegradedCluster(cluster, state);
+  EXPECT_FALSE(degraded.feasible);
+  EXPECT_EQ(degraded.from_original_device, (std::vector<topo::DeviceId>{-1}));
+}
+
+// --- RemapPlanToCluster ----------------------------------------------------
+
+TEST(FaultDegradeTest, RemapKeepsLayerRangesAndClampsReplication) {
+  const model::ModelProfile m = EightLayerModel();
+  const planner::ParallelPlan plan = TwoStagePlan(m, 2);  // devices {0,1} | {2,3}
+
+  const topo::Cluster cluster = topo::MakeConfigB(4);
+  ClusterState state = StateAt(FaultScript{}, cluster, 0.0);
+  state.device_dead[3] = true;
+
+  const auto remapped = RemapPlanToCluster(plan, MakeDegradedCluster(cluster, state));
+  ASSERT_TRUE(remapped.has_value());
+  ASSERT_EQ(remapped->num_stages(), 2);
+  EXPECT_EQ(remapped->stages[0].layer_begin, 0);
+  EXPECT_EQ(remapped->stages[0].layer_end, 4);
+  EXPECT_EQ(remapped->stages[1].layer_begin, 4);
+  EXPECT_EQ(remapped->stages[1].layer_end, 8);
+  // Three survivors: the first stage keeps both replicas, the second clamps.
+  EXPECT_EQ(remapped->stages[0].replication(), 2);
+  EXPECT_EQ(remapped->stages[1].replication(), 1);
+  remapped->Validate(m);
+}
+
+TEST(FaultDegradeTest, RemapFailsWhenStagesOutnumberSurvivors) {
+  const model::ModelProfile m = EightLayerModel();
+  const planner::ParallelPlan plan = TwoStagePlan(m, 1);
+
+  const topo::Cluster cluster = topo::MakeConfigB(2);
+  ClusterState state = StateAt(FaultScript{}, cluster, 0.0);
+  state.device_dead[1] = true;  // one survivor, two stages
+  EXPECT_FALSE(RemapPlanToCluster(plan, MakeDegradedCluster(cluster, state)).has_value());
+}
+
+// --- BuildSpeedProfiles ----------------------------------------------------
+
+struct BuiltScenario {
+  model::ModelProfile model = EightLayerModel();
+  topo::Cluster cluster = topo::MakeConfigB(2);
+  planner::ParallelPlan plan;
+  runtime::BuiltPipeline built;
+
+  BuiltScenario() : plan(TwoStagePlan(model, 1)) {
+    runtime::BuildOptions options;
+    options.global_batch_size = 4;
+    built = runtime::GraphBuilder(model, cluster, plan, options).Build();
+  }
+
+  std::vector<sim::ResourceSpeedProfile> Profiles(const FaultScript& script, TimeSec t0,
+                                                  const ClusterState* baked = nullptr) {
+    return BuildSpeedProfiles(script, cluster, {0, 1}, plan, built, t0, baked);
+  }
+};
+
+TEST(FaultProfileTest, WindowsShiftIntoIterationLocalTime) {
+  BuiltScenario s;
+  const FaultScript script =
+      ParseFaultScript("slowdown device=0 start=2 end=4 mult=0.5\n");
+
+  const auto at_zero = s.Profiles(script, 0.0);
+  ASSERT_EQ(at_zero.size(), 1u);
+  EXPECT_EQ(at_zero[0].resource, 0);  // device 0's compute resource
+  ASSERT_EQ(at_zero[0].segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(at_zero[0].segments[0].start, 2.0);
+  EXPECT_DOUBLE_EQ(at_zero[0].segments[0].speed, 0.5);
+  EXPECT_DOUBLE_EQ(at_zero[0].segments[1].start, 4.0);
+  EXPECT_DOUBLE_EQ(at_zero[0].segments[1].speed, 1.0);
+
+  // An iteration starting inside the window sees its remainder from t = 0.
+  const auto mid = s.Profiles(script, 3.0);
+  ASSERT_EQ(mid.size(), 1u);
+  ASSERT_EQ(mid[0].segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(mid[0].segments[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(mid[0].segments[0].speed, 0.5);
+  EXPECT_DOUBLE_EQ(mid[0].segments[1].start, 1.0);
+
+  // Entirely in the past: no profile at all.
+  EXPECT_TRUE(s.Profiles(script, 5.0).empty());
+}
+
+TEST(FaultProfileTest, CrashPinsTheDeviceForever) {
+  BuiltScenario s;
+  const FaultScript script = ParseFaultScript("crash device=1 at=2\n");
+  const auto profiles = s.Profiles(script, 3.0);  // iteration starts after the crash
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].resource, 1);
+  ASSERT_EQ(profiles[0].segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(profiles[0].segments[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(profiles[0].segments[0].speed, 0.0);
+}
+
+TEST(FaultProfileTest, BakedStateCancelsToResidualSpeeds) {
+  BuiltScenario s;
+  const FaultScript script =
+      ParseFaultScript("slowdown device=0 start=2 end=4 mult=0.5\n");
+  ClusterState baked = StateAt(script, s.cluster, 3.0);  // window active
+  ASSERT_DOUBLE_EQ(baked.server_compute[0], 0.5);
+
+  // While the baked window is active the pipeline's durations already carry
+  // the slowdown: the residual is 1.0 inside the window and 2.0 after it.
+  const auto mid = s.Profiles(script, 3.0, &baked);
+  ASSERT_EQ(mid.size(), 1u);
+  ASSERT_EQ(mid[0].segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(mid[0].segments[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(mid[0].segments[0].speed, 1.0);
+  EXPECT_DOUBLE_EQ(mid[0].segments[1].start, 1.0);
+  EXPECT_DOUBLE_EQ(mid[0].segments[1].speed, 2.0);
+
+  // After the window the stale baked plan under-prices the device: it runs
+  // at 2x the baked baseline until the next replan rebuilds it.
+  const auto late = s.Profiles(script, 5.0, &baked);
+  ASSERT_EQ(late.size(), 1u);
+  ASSERT_EQ(late[0].segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(late[0].segments[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(late[0].segments[0].speed, 2.0);
+}
+
+// --- RunFaultExperiment ----------------------------------------------------
+
+TEST(FaultRecoveryTest, PolicyNamesRoundTrip) {
+  EXPECT_EQ(ParseRecoveryPolicy("stall"), RecoveryPolicy::kSyncStall);
+  EXPECT_EQ(ParseRecoveryPolicy("checkpoint"), RecoveryPolicy::kCheckpointRestart);
+  EXPECT_EQ(ParseRecoveryPolicy("replan"), RecoveryPolicy::kElasticReplan);
+  EXPECT_THROW(ParseRecoveryPolicy("hope"), Error);
+  EXPECT_STREQ(ToString(RecoveryPolicy::kElasticReplan), "replan");
+}
+
+TEST(FaultRecoveryTest, FaultFreeScriptMatchesHealthyThroughput) {
+  const model::ModelProfile m = EightLayerModel();
+  const topo::Cluster cluster = topo::MakeConfigB(2);
+  const FaultReport report = RunFaultExperiment(
+      m, cluster, TwoStagePlan(m, 1), FaultScript{}, RecoveryPolicy::kSyncStall,
+      FastOptions(8));
+  EXPECT_GT(report.iterations_completed, 0);
+  EXPECT_EQ(report.replans, 0);
+  EXPECT_EQ(report.iterations_lost, 0);
+  EXPECT_TRUE(report.recovered);
+  // Goodput only loses the fractional iteration cut off by the horizon.
+  EXPECT_GT(report.goodput, 0.9 * report.healthy_throughput);
+  EXPECT_LE(report.goodput, report.healthy_throughput * (1.0 + 1e-9));
+}
+
+// The acceptance demo at unit scale: a persistent 0.5x straggler server.
+// Sync-stall runs at the straggler's pace forever; the elastic replan pays
+// one replan and rebalances onto the heterogeneous cluster.
+TEST(FaultRecoveryTest, ElasticReplanBeatsSyncStallOnAPersistentStraggler) {
+  const model::ModelProfile m = EightLayerModel();
+  const topo::Cluster cluster = topo::MakeConfigB(2);
+  const planner::ParallelPlan plan = TwoStagePlan(m, 1);
+  const FaultScript script = ParseFaultScript("slowdown server=1 start=1 mult=0.5\n");
+  const FaultOptions options = FastOptions(8);
+
+  const FaultReport stall = RunFaultExperiment(m, cluster, plan, script,
+                                               RecoveryPolicy::kSyncStall, options);
+  const FaultReport replan = RunFaultExperiment(m, cluster, plan, script,
+                                                RecoveryPolicy::kElasticReplan, options);
+
+  // The straggler window never closes, so the baseline never runs clean.
+  EXPECT_FALSE(stall.recovered);
+  EXPECT_TRUE(std::isinf(stall.time_to_recover));
+  EXPECT_GT(stall.goodput_loss, 0.0);
+
+  EXPECT_GE(replan.replans, 1);
+  EXPECT_TRUE(replan.recovered);
+  EXPECT_TRUE(std::isfinite(replan.time_to_recover));
+  EXPECT_GT(replan.post_fault_throughput, 0.0);
+  EXPECT_GT(replan.goodput, stall.goodput);
+  EXPECT_LT(replan.goodput_loss, stall.goodput_loss);
+}
+
+TEST(FaultRecoveryTest, CrashUnderSyncStallHaltsTheJobForGood) {
+  const model::ModelProfile m = EightLayerModel();
+  const topo::Cluster cluster = topo::MakeConfigB(2);
+  const FaultScript script = ParseFaultScript("crash device=1 at=2\n");
+  const FaultReport report =
+      RunFaultExperiment(m, cluster, TwoStagePlan(m, 1), script,
+                         RecoveryPolicy::kSyncStall, FastOptions(8));
+
+  EXPECT_FALSE(report.recovered);
+  EXPECT_TRUE(std::isinf(report.time_to_recover));
+  EXPECT_EQ(report.iterations_lost, 1);
+  EXPECT_DOUBLE_EQ(report.post_fault_throughput, 0.0);
+  // Work done before the crash still counts toward goodput.
+  EXPECT_GT(report.iterations_completed, 0);
+  EXPECT_GT(report.goodput, 0.0);
+  EXPECT_LT(report.goodput, report.healthy_throughput);
+  // The timeline ends in a stall row pinned to the horizon.
+  ASSERT_FALSE(report.timeline.empty());
+  EXPECT_EQ(report.timeline.back().kind, "stall");
+  EXPECT_DOUBLE_EQ(report.timeline.back().end, report.horizon);
+}
+
+TEST(FaultRecoveryTest, CheckpointRestartBoundsTheRollback) {
+  const model::ModelProfile m = EightLayerModel();
+  const topo::Cluster cluster = topo::MakeConfigB(4);
+  const planner::ParallelPlan plan = TwoStagePlan(m, 2);
+  const FaultScript script = ParseFaultScript("crash device=3 at=2\n");
+
+  FaultOptions options = FastOptions(8);
+  options.checkpoint_period = 3;
+  options.checkpoint_cost = 0.05;
+  options.detect_latency = 0.1;
+  options.restore_cost = 0.3;
+
+  // Every pipeline (initial and remapped) must satisfy the full invariant
+  // set when run fault-free — the acceptance criterion, checked inline.
+  int validated = 0;
+  options.pipeline_observer = [&](const runtime::BuiltPipeline& built,
+                                  const planner::ParallelPlan& p,
+                                  const topo::Cluster& c) {
+    (void)c;
+    const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+    const check::ValidationReport report =
+        check::ScheduleValidator(p, built.options).Validate(built, result);
+    EXPECT_TRUE(report.ok()) << "plan " << p.ToString() << ":\n" << report.ToString();
+    ++validated;
+  };
+
+  const FaultReport report = RunFaultExperiment(m, cluster, plan, script,
+                                                RecoveryPolicy::kCheckpointRestart, options);
+  EXPECT_GE(validated, 2);  // initial + post-crash remap
+  EXPECT_EQ(report.restores, 1);
+  EXPECT_GE(report.checkpoints, 1);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_TRUE(std::isfinite(report.time_to_recover));
+  EXPECT_GT(report.post_fault_throughput, 0.0);
+  // Rollback loses at most the in-flight iteration plus one period's work.
+  EXPECT_GE(report.iterations_lost, 1);
+  EXPECT_LE(report.iterations_lost, options.checkpoint_period + 1);
+}
+
+TEST(FaultRecoveryTest, ElasticReplanSurvivesACrashWithValidatedPipelines) {
+  const model::ModelProfile m = EightLayerModel();
+  const topo::Cluster cluster = topo::MakeConfigB(4);
+  const planner::ParallelPlan plan = TwoStagePlan(m, 2);
+  const FaultScript script = ParseFaultScript("crash device=3 at=2\n");
+
+  FaultOptions options = FastOptions(8);
+  int validated = 0;
+  options.pipeline_observer = [&](const runtime::BuiltPipeline& built,
+                                  const planner::ParallelPlan& p,
+                                  const topo::Cluster& c) {
+    (void)c;
+    const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+    const check::ValidationReport report =
+        check::ScheduleValidator(p, built.options).Validate(built, result);
+    EXPECT_TRUE(report.ok()) << "plan " << p.ToString() << ":\n" << report.ToString();
+    ++validated;
+  };
+
+  const FaultReport report = RunFaultExperiment(m, cluster, plan, script,
+                                                RecoveryPolicy::kElasticReplan, options);
+  EXPECT_GE(validated, 2);  // initial + replanned
+  EXPECT_GE(report.replans, 1);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_GT(report.post_fault_throughput, 0.0);
+  // The replanned cluster lost a server; the final plan must differ in
+  // placement from the initial 2:2 (three devices cannot host it).
+  EXPECT_EQ(report.initial_plan, plan.ToString());
+}
+
+TEST(FaultRecoveryTest, ReportsAreByteDeterministic) {
+  const model::ModelProfile m = EightLayerModel();
+  const topo::Cluster cluster = topo::MakeConfigB(2);
+  const planner::ParallelPlan plan = TwoStagePlan(m, 1);
+  const FaultScript script = ParseFaultScript(
+      "slowdown server=1 start=1 end=3 mult=0.5\n"
+      "crash device=1 at=5\n");
+  const FaultOptions options = FastOptions(8);
+
+  const FaultReport a = RunFaultExperiment(m, cluster, plan, script,
+                                           RecoveryPolicy::kElasticReplan, options);
+  const FaultReport b = RunFaultExperiment(m, cluster, plan, script,
+                                           RecoveryPolicy::kElasticReplan, options);
+  EXPECT_EQ(ToJson(a), ToJson(b));
+  EXPECT_EQ(ToChromeTrace(a), ToChromeTrace(b));
+  EXPECT_EQ(ToText(a), ToText(b));
+  // Infinity never leaks into the JSON encoding (golden-file safety).
+  EXPECT_EQ(ToJson(a).find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dapple::fault

@@ -42,5 +42,18 @@ TEST(FuzzRegression, Seed3410IsTheSweepWorstCaseAndPasses) {
   EXPECT_LE(out.analytic_latency / out.simulated_makespan, 1.10);
 }
 
+// Fault-fuzz seed 27: a DP plan that uses 2 of the cluster's 4 devices,
+// leaving the task graph with fewer referenced resources than the cluster
+// has hardware, plus a fault script that targets the idle server. The
+// first BuildSpeedProfiles emitted windows for the idle devices and the
+// engine rejected them ("speed profile for unknown resource 2"); profiles
+// must silently skip resources the graph never references — a fault on idle
+// hardware is a no-op.
+TEST(FuzzRegression, FaultSeed27ToleratesFaultsOnIdleDevices) {
+  const check::FaultFuzzOutcome out = check::RunFaultFuzzSeed(27);
+  EXPECT_TRUE(out.ok()) << out.Summary();
+  EXPECT_GE(out.pipelines_validated, 1);
+}
+
 }  // namespace
 }  // namespace dapple

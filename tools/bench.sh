@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Performance trajectory: build and run the paper-reproduction benches with
+# machine-readable output, so successive commits can be compared row by row.
+#
+#   tools/bench.sh [build-dir] [json-dir]
+#
+# Builds <build-dir> (default: build-bench), runs the table/figure benches
+# plus the fault-recovery sweep with DAPPLE_BENCH_JSON_DIR pointed at
+# <json-dir> (default: <build-dir>/bench-json), and leaves one
+# BENCH_<name>.json per binary there. Archive that directory per commit to
+# track the trajectory; `diff -u old/BENCH_x.json new/BENCH_x.json` shows
+# exactly which rows moved.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build-bench}"
+json_dir="${2:-${build}/bench-json}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+benches=(
+  bench_fig3_schedule
+  bench_fig12_speedups
+  bench_table1_traffic
+  bench_table2_models
+  bench_table4_policy
+  bench_table7_strategies
+  bench_fault_recovery
+)
+
+echo "=== configure ${build}"
+cmake -B "${build}" -S . >/dev/null
+echo "=== build ${build}"
+cmake --build "${build}" -j "${jobs}" --target "${benches[@]}" >/dev/null
+
+mkdir -p "${json_dir}"
+for bench in "${benches[@]}"; do
+  echo "=== ${bench}"
+  DAPPLE_BENCH_JSON_DIR="${json_dir}" "${build}/bench/${bench}" >/dev/null
+done
+
+echo "=== bench json archived in ${json_dir}:"
+ls -l "${json_dir}"/BENCH_*.json

@@ -1,18 +1,34 @@
 #!/usr/bin/env bash
-# Local CI: configure + build + unit-test the tree twice — once plain, once
+# Local CI: configure + build + test the tree twice — once plain, once
 # under AddressSanitizer/UBSan (DAPPLE_SANITIZE=address,undefined).
 #
 #   tools/ci.sh [build-dir-prefix]
 #
 # The two build trees land in <prefix> and <prefix>-asan (default: build-ci).
-# Heavier tiers stay opt-in: `ctest -L fuzz` / `ctest -L golden`, and the
-# 100k-seed sweep via `DAPPLE_FUZZ_ITERATIONS=100000 ctest -L fuzz` or
-# `tools/dapple_fuzz --iterations 100000`.
+#
+# DAPPLE_CI_TIER selects the test tier:
+#   unit (default) — `ctest -L unit`, the fast suite (pull requests)
+#   full           — the whole registered suite, which adds the `-L fuzz`
+#                    randomized sweeps and the `-L golden` byte-stability
+#                    tests (pushes to main)
+#
+# Wider sweeps stay opt-in: `DAPPLE_FUZZ_ITERATIONS=100000 ctest -L fuzz`,
+# or `tools/dapple_fuzz --iterations 100000` / `--faults` directly.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 prefix="${1:-build-ci}"
 jobs="$(nproc 2>/dev/null || echo 4)"
+tier="${DAPPLE_CI_TIER:-unit}"
+
+case "${tier}" in
+  unit) label_args=(-L unit) ;;
+  full) label_args=() ;;
+  *)
+    echo "unknown DAPPLE_CI_TIER '${tier}' (unit | full)" >&2
+    exit 2
+    ;;
+esac
 
 run_suite() {
   local dir="$1"
@@ -21,8 +37,8 @@ run_suite() {
   cmake -B "${dir}" -S . "$@" >/dev/null
   echo "=== build ${dir}"
   cmake --build "${dir}" -j "${jobs}" >/dev/null
-  echo "=== ctest -L unit (${dir})"
-  ctest --test-dir "${dir}" -L unit --output-on-failure -j "${jobs}"
+  echo "=== ctest tier=${tier} (${dir})"
+  ctest --test-dir "${dir}" "${label_args[@]}" --output-on-failure -j "${jobs}"
 }
 
 run_suite "${prefix}"

@@ -17,6 +17,13 @@
 //       (bubble ratios, time split, phases, links, memory); --json exports
 //       the machine-readable document, --fig3 runs the paper's two-stage
 //       example.
+//   dapple faults <model> <config> <servers> <gbs>
+//              [--plan FILE] [--policy stall|checkpoint|replan|all]
+//              [--script FILE] [--script-text "..."] [--seed N]
+//              [--horizon T] [--checkpoint-period N]
+//              [--json FILE] [--trace FILE.json]
+//       Inject a fault script (from a file, inline text, or a seeded random
+//       generator) and measure what each recovery policy salvages.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,7 +50,12 @@ int Usage() {
                "  dapple report <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
                "              [--schedule dapple|gpipe] [--recompute]\n"
                "              [--json FILE] [--peak-vs-m M1,M2,...]\n"
-               "  dapple report --fig3 [--json FILE]\n");
+               "  dapple report --fig3 [--json FILE]\n"
+               "  dapple faults <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
+               "              [--policy stall|checkpoint|replan|all]\n"
+               "              [--script FILE] [--script-text \"...\"] [--seed N]\n"
+               "              [--horizon T] [--checkpoint-period N]\n"
+               "              [--json FILE] [--trace FILE.json]\n");
   return 2;
 }
 
@@ -274,6 +286,126 @@ int CmdReport(int argc, char** argv) {
   return 0;
 }
 
+std::string ReadTextFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw Error("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+int CmdFaults(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const model::ModelProfile m = model::ModelByName(argv[0]);
+  const topo::Cluster cluster = ClusterFor(argv[1][0], std::atoi(argv[2]));
+  const long gbs = std::atol(argv[3]);
+
+  std::string plan_path, json_path, trace_path, script_path, script_text, policy_arg = "all";
+  bool seeded = false;
+  std::uint64_t seed = 0;
+  fault::FaultOptions options;
+  options.build.global_batch_size = gbs;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
+      plan_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      policy_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--script") == 0 && i + 1 < argc) {
+      script_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--script-text") == 0 && i + 1 < argc) {
+      script_text = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seeded = true;
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--horizon") == 0 && i + 1 < argc) {
+      options.horizon = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--checkpoint-period") == 0 && i + 1 < argc) {
+      options.checkpoint_period = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  fault::FaultScript script;
+  if (!script_path.empty()) {
+    script = fault::ParseFaultScript(ReadTextFile(script_path));
+  } else if (!script_text.empty()) {
+    script = fault::ParseFaultScript(script_text);
+  } else if (seeded) {
+    fault::RandomFaultOptions random;
+    if (options.horizon > 0.0) random.horizon = options.horizon;
+    script = fault::RandomFaultScript(seed, cluster, random);
+  } else {
+    std::fprintf(stderr, "no fault script: pass --script, --script-text or --seed\n");
+    return Usage();
+  }
+  script.Validate(cluster);
+  std::printf("fault script:\n%s", script.ToString().c_str());
+
+  Session session(m, cluster);
+  planner::ParallelPlan plan;
+  if (!plan_path.empty()) {
+    plan = planner::LoadPlan(plan_path);
+    plan.Validate(m);
+  } else {
+    plan = session.Plan(gbs).plan;
+  }
+
+  std::vector<fault::RecoveryPolicy> policies;
+  if (policy_arg == "all") {
+    policies = {fault::RecoveryPolicy::kSyncStall, fault::RecoveryPolicy::kCheckpointRestart,
+                fault::RecoveryPolicy::kElasticReplan};
+  } else {
+    policies = {fault::ParseRecoveryPolicy(policy_arg)};
+  }
+
+  std::vector<fault::FaultReport> reports;
+  for (fault::RecoveryPolicy policy : policies) {
+    reports.push_back(fault::RunFaultExperiment(m, cluster, plan, script, policy, options));
+  }
+
+  if (reports.size() == 1) {
+    std::printf("%s", fault::ToText(reports[0]).c_str());
+  } else {
+    std::printf("plan %s | healthy %.6g samples/s | horizon %.6g s\n",
+                reports[0].initial_plan.c_str(), reports[0].healthy_throughput,
+                reports[0].horizon);
+    AsciiTable table({"Policy", "Iters", "Goodput", "Loss", "Recover", "Post-fault", "Actions"});
+    for (const fault::FaultReport& r : reports) {
+      table.AddRow({fault::ToString(r.policy), AsciiTable::Int(r.iterations_completed),
+                    AsciiTable::Num(r.goodput, 2) + "/s",
+                    AsciiTable::Int(static_cast<int>(100 * r.goodput_loss)) + "%",
+                    r.recovered ? FormatTime(r.time_to_recover) : "never",
+                    AsciiTable::Num(r.post_fault_throughput, 2) + "/s",
+                    AsciiTable::Int(r.replans + r.restores + r.checkpoints)});
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+
+  if (!trace_path.empty()) {
+    WriteJsonFile(trace_path, fault::ToChromeTrace(reports.back()));
+  }
+  if (!json_path.empty()) {
+    if (reports.size() == 1) return WriteJsonFile(json_path, fault::ToJson(reports[0]));
+    std::string doc = "[\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      doc += fault::ToJson(reports[i]);
+      doc += i + 1 < reports.size() ? ",\n" : "\n";
+    }
+    doc += "]";
+    return WriteJsonFile(json_path, doc);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -283,6 +415,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "plan") == 0) return CmdPlan(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "run") == 0) return CmdRun(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "report") == 0) return CmdReport(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "faults") == 0) return CmdFaults(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

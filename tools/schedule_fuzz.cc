@@ -5,6 +5,12 @@
 //       print a summary and exit non-zero on the first failure.
 //   dapple_fuzz --repro SEED
 //       Re-run one failing seed with its full case description.
+//   dapple_fuzz --faults [--iterations N] [--seed BASE] [--verbose]
+//   dapple_fuzz --faults --repro SEED
+//       Fault-recovery mode: each seed derives a random fault script and a
+//       recovery policy; every pipeline the experiment builds (initial,
+//       checkpoint-remapped, replanned) runs the full validator invariant
+//       set.
 //
 // Each case derives entirely from its 64-bit seed, so any failure printed
 // by the batch mode reproduces exactly with --repro.
@@ -23,9 +29,45 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  dapple_fuzz [--iterations N] [--seed BASE] [--verbose]\n"
-               "  dapple_fuzz --repro SEED\n");
+               "  dapple_fuzz [--faults] [--iterations N] [--seed BASE] [--verbose]\n"
+               "  dapple_fuzz [--faults] --repro SEED\n");
   return 2;
+}
+
+int ReproFaults(std::uint64_t seed) {
+  const check::FaultFuzzCase c = check::MakeFaultFuzzCase(seed);
+  std::printf("%s\n", c.Describe().c_str());
+  const check::FaultFuzzOutcome out = check::RunFaultFuzzCase(c);
+  if (!out.ok()) {
+    std::printf("%s", out.Summary().c_str());
+    return 1;
+  }
+  std::printf("ok: %d pipelines validated, %d iterations, %d replans, %d restores\n",
+              out.pipelines_validated, out.iterations_completed, out.replans, out.restores);
+  return 0;
+}
+
+int RunFaultSweep(std::uint64_t base, long iterations, bool verbose) {
+  long pipelines = 0, replans = 0, restores = 0;
+  for (long i = 0; i < iterations; ++i) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
+    const check::FaultFuzzCase c = check::MakeFaultFuzzCase(seed);
+    if (verbose) std::printf("%s\n", c.Describe().c_str());
+    const check::FaultFuzzOutcome out = check::RunFaultFuzzCase(c);
+    if (!out.ok()) {
+      std::fprintf(stderr, "%s  case: %s\n", out.Summary().c_str(), c.Describe().c_str());
+      return 1;
+    }
+    pipelines += out.pipelines_validated;
+    replans += out.replans;
+    restores += out.restores;
+  }
+  std::printf("%ld fault cases ok (seeds %llu..%llu): %ld pipelines validated, "
+              "%ld replans, %ld restores\n",
+              iterations, static_cast<unsigned long long>(base),
+              static_cast<unsigned long long>(base + iterations - 1), pipelines, replans,
+              restores);
+  return 0;
 }
 
 int Repro(std::uint64_t seed) {
@@ -52,9 +94,17 @@ int main(int argc, char** argv) {
   std::uint64_t base = 0;
   long iterations = 200;
   bool verbose = false;
+  bool faults = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc) {
-      return Repro(std::strtoull(argv[++i], nullptr, 10));
+    if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
+    } else if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc) {
+      const std::uint64_t seed = std::strtoull(argv[++i], nullptr, 10);
+      // --faults may follow --repro; scan the rest before dispatching.
+      for (int j = i + 1; j < argc; ++j) {
+        if (std::strcmp(argv[j], "--faults") == 0) faults = true;
+      }
+      return faults ? ReproFaults(seed) : Repro(seed);
     } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
       iterations = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -66,6 +116,7 @@ int main(int argc, char** argv) {
     }
   }
   if (iterations <= 0) return Usage();
+  if (faults) return RunFaultSweep(base, iterations, verbose);
 
   // Tolerance calibration: track the worst observed analytic/sim ratio per
   // plan family (the constants in check/fuzz.h are pinned from sweeps of
