@@ -105,6 +105,7 @@ EvalRow Evaluate(const model::ModelProfile& model, const topo::Cluster& cluster,
   const runtime::ExecutionDetail detail = executor.RunDetailed();
   row.hybrid = detail.report;
   row.report = obs::BuildIterationReport(detail.pipeline, detail.result);
+  row.report.attach_planner_stats(row.planned.stats);
   row.dp_no_overlap = planner::EstimateDataParallel(
       model, cluster, global_batch_size, planner::DataParallelVariant::kNoOverlap);
   row.dp_overlap = planner::EstimateDataParallel(

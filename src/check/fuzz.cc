@@ -202,7 +202,14 @@ FaultFuzzCase MakeFaultFuzzCase(std::uint64_t seed) {
   fault::RandomFaultOptions random;
   random.horizon = options.horizon;
   random.max_events = 4;
-  fault::FaultScript script = fault::RandomFaultScript(rng.Fork(), cluster, random);
+  // The script draws from its own independently salted stream. Forking the
+  // topology rng here would couple the two: any added or removed draw above
+  // (a new option, a wider model range) would silently rewrite every pinned
+  // fault script. With a separate stream, topology changes leave scripts
+  // stable and vice versa — only the targeted-entity validity still ties
+  // them together (RandomFaultScript samples within `cluster`).
+  Rng script_rng(seed * 0x9e3779b97f4a7c15ull + 0xd1342543de82ef95ull);
+  fault::FaultScript script = fault::RandomFaultScript(script_rng.Fork(), cluster, random);
 
   const auto policy = static_cast<fault::RecoveryPolicy>(seed % 3);
   return FaultFuzzCase{seed,   std::move(model),  std::move(cluster), std::move(plan),

@@ -1,0 +1,136 @@
+// Sharded memoization cache for concurrent compute-once lookups. Keys are
+// hashed onto independent shards (own mutex + map) so parallel workers —
+// the planner's subproblem evaluators foremost — rarely contend on the same
+// lock. The contract that keeps parallel searches deterministic: `compute`
+// must be a pure function of the key, so whether a thread hits the cache or
+// recomputes (two threads may race on the same fresh key; the loser's value
+// is dropped) the returned value is bit-identical either way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dapple {
+
+/// Mixes a value into a running hash seed (boost::hash_combine recipe).
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+/// Point-in-time statistics of one shard (or, summed, the whole cache).
+struct CacheShardStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t entries = 0;
+  /// Wall time spent inside `compute` on misses attributed to this shard.
+  double compute_seconds = 0.0;
+
+  double hit_rate() const {
+    const std::int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedCache {
+ public:
+  /// `shards` is rounded up to a power of two so the shard pick is a mask.
+  explicit ShardedCache(std::size_t shards = 16) {
+    std::size_t n = 1;
+    while (n < shards) n <<= 1;
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Returns the cached value for `key`, or runs `compute()` and caches its
+  /// result. `compute` runs outside the shard lock so slow computations do
+  /// not serialize the shard; a concurrent duplicate computation is allowed
+  /// and its extra result discarded (values for one key are identical).
+  template <typename Compute>
+  Value GetOrCompute(const Key& key, Compute&& compute) {
+    Shard& shard = ShardFor(key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        ++shard.hits;
+        return it->second;
+      }
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    Value value = compute();
+    const auto t1 = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.misses;
+      shard.compute_seconds += std::chrono::duration<double>(t1 - t0).count();
+      shard.map.emplace(key, value);
+    }
+    return value;
+  }
+
+  /// Stats of one shard.
+  CacheShardStats ShardStats(std::size_t shard) const {
+    const Shard& s = *shards_[shard];
+    std::lock_guard<std::mutex> lock(s.mu);
+    return {s.hits, s.misses, static_cast<std::int64_t>(s.map.size()), s.compute_seconds};
+  }
+
+  /// Stats per shard, in shard order.
+  std::vector<CacheShardStats> PerShardStats() const {
+    std::vector<CacheShardStats> all;
+    all.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) all.push_back(ShardStats(i));
+    return all;
+  }
+
+  /// Aggregate over every shard.
+  CacheShardStats TotalStats() const {
+    CacheShardStats total;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const CacheShardStats s = ShardStats(i);
+      total.hits += s.hits;
+      total.misses += s.misses;
+      total.entries += s.entries;
+      total.compute_seconds += s.compute_seconds;
+    }
+    return total;
+  }
+
+  std::size_t size() const { return static_cast<std::size_t>(TotalStats().entries); }
+
+  void Clear() {
+    for (auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->map.clear();
+      s->hits = s->misses = 0;
+      s->compute_seconds = 0.0;
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    double compute_seconds = 0.0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[Hash{}(key) & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dapple

@@ -37,6 +37,20 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    DAPPLE_CHECK(!shutdown_) << "submit after shutdown";
+    for (std::function<void()>& task : tasks) {
+      DAPPLE_CHECK(task != nullptr) << "null task";
+      queue_.push(std::move(task));
+      ++in_flight_;
+    }
+  }
+  work_available_.notify_all();
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this] { return in_flight_ == 0; });
@@ -53,8 +67,10 @@ void ThreadPool::ParallelFor(std::size_t count,
   std::exception_ptr first_error;
   std::mutex error_mutex;
   const std::size_t shards = std::min(count, num_threads());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    Submit([&] {
+    tasks.push_back([&] {
       for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
         try {
           body(i);
@@ -65,6 +81,7 @@ void ThreadPool::ParallelFor(std::size_t count,
       }
     });
   }
+  SubmitBatch(std::move(tasks));
   Wait();
   if (first_error) std::rethrow_exception(first_error);
 }

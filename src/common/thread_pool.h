@@ -32,6 +32,11 @@ class ThreadPool {
   /// Enqueues a task; returns immediately.
   void Submit(std::function<void()> task);
 
+  /// Enqueues every task under one lock acquisition and wakes all workers
+  /// once — the planner submits whole search levels at a time, where
+  /// per-task locking is measurable overhead.
+  void SubmitBatch(std::vector<std::function<void()>> tasks);
+
   /// Blocks until every task submitted so far has finished.
   void Wait();
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 
 namespace dapple::fault {
@@ -12,6 +13,22 @@ namespace dapple::fault {
 namespace {
 
 constexpr TimeSec kInf = std::numeric_limits<TimeSec>::infinity();
+
+/// Runs the (parallel, memoized) planner for an online elastic replan and
+/// books its search stats under fault.replan.* — replans happen on the
+/// recovery critical path, so their wall time and cache behaviour are the
+/// numbers an operator actually cares about.
+planner::ParallelPlan ReplanOnline(const model::ModelProfile& model,
+                                   const topo::Cluster& degraded,
+                                   const planner::PlannerOptions& options) {
+  planner::PlanResult result = planner::DapplePlanner(model, degraded, options).Plan();
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.counter("fault.replan.runs").Increment();
+  metrics.counter("fault.replan.subproblems").Increment(result.stats.subproblems);
+  metrics.counter("fault.replan.cache_hits").Increment(result.stats.cache_hits);
+  metrics.histogram("fault.replan.wall_seconds").Observe(result.stats.wall_seconds);
+  return std::move(result.plan);
+}
 
 /// One running configuration: a plan built against a (possibly degraded)
 /// cluster, plus the id map back to the original and the state it targets.
@@ -154,8 +171,7 @@ FaultReport RunFaultExperiment(const model::ModelProfile& model, const topo::Clu
         }
         planner::ParallelPlan next_plan;
         try {
-          next_plan =
-              planner::DapplePlanner(model, degraded.cluster, planner_options).Plan().plan;
+          next_plan = ReplanOnline(model, degraded.cluster, planner_options);
         } catch (const Error&) {
           const auto remapped = RemapPlanToCluster(config.plan, degraded);
           if (!remapped) {
@@ -256,8 +272,7 @@ FaultReport RunFaultExperiment(const model::ModelProfile& model, const topo::Clu
         }
         planner::ParallelPlan next_plan;
         try {
-          next_plan =
-              planner::DapplePlanner(model, degraded.cluster, planner_options).Plan().plan;
+          next_plan = ReplanOnline(model, degraded.cluster, planner_options);
         } catch (const Error&) {
           const auto remapped = RemapPlanToCluster(config.plan, degraded);
           if (!remapped) {

@@ -289,6 +289,36 @@ void WriteJson(JsonWriter& w, const IterationReport& r) {
   }
   w.EndArray();
 
+  // Emitted only when explicitly attached so fixed-plan reports (and their
+  // goldens) are unaffected. wall_seconds is wall-clock — fine for bench
+  // blobs, never golden-compared.
+  if (r.has_planner_stats) {
+    const planner::PlannerSearchStats& ps = r.planner_stats;
+    w.Key("planner").BeginObject();
+    w.Field("threads", ps.threads);
+    w.Field("levels", ps.levels);
+    w.Field("subproblems", ps.subproblems);
+    w.Field("candidates_evaluated", ps.candidates_evaluated);
+    w.Field("candidates_pruned", ps.candidates_pruned);
+    w.Field("cache_hits", ps.cache_hits);
+    w.Field("cache_misses", ps.cache_misses);
+    w.Field("cache_entries", ps.cache_entries);
+    w.Field("cache_hit_rate", ps.cache_hit_rate());
+    w.Field("cache_compute_seconds", ps.cache_compute_seconds);
+    w.Field("wall_seconds", ps.wall_seconds);
+    w.Key("shards").BeginArray();
+    for (const CacheShardStats& shard : ps.shards) {
+      w.BeginObject();
+      w.Field("hits", shard.hits);
+      w.Field("misses", shard.misses);
+      w.Field("entries", shard.entries);
+      w.Field("compute_seconds", shard.compute_seconds);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+
   w.EndObject();
 }
 

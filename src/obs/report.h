@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "planner/stage_cache.h"
 #include "runtime/graph_builder.h"
 #include "sim/engine.h"
 
@@ -116,6 +117,17 @@ struct IterationReport {
 
   Bytes max_peak_memory = 0;
   bool oom = false;
+
+  /// Search stats of the planning run that produced this iteration's plan
+  /// (thread count, subproblem decomposition, memo-cache traffic). Absent
+  /// by default — attach via `attach_planner_stats` after a fresh planner
+  /// run — so reports built from fixed plans (goldens) stay byte-identical.
+  bool has_planner_stats = false;
+  planner::PlannerSearchStats planner_stats;
+  void attach_planner_stats(const planner::PlannerSearchStats& stats) {
+    planner_stats = stats;
+    has_planner_stats = true;
+  }
 };
 
 /// Summarizes one executed iteration. Pure: reads the graph, records and

@@ -1,9 +1,11 @@
 #include "planner/dp_planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -39,6 +41,25 @@ std::string CanonicalKey(const topo::AllocationState& state) {
   return key;
 }
 
+/// Compact identity of a plan's (layer range, device list) structure, used
+/// only for dedup — raw little-endian ints, never printed. Millions of
+/// candidates get one each, so formatting with to_string would be a
+/// measurable share of the search.
+std::string PlanSignature(const ParallelPlan& p) {
+  std::string sig;
+  sig.reserve(p.stages.size() * 16);
+  auto put = [&sig](std::int32_t v) {
+    sig.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  for (const StagePlan& s : p.stages) {
+    put(s.layer_begin);
+    put(s.layer_end);
+    for (topo::DeviceId d : s.devices.devices()) put(d);
+    put(-1);
+  }
+  return sig;
+}
+
 struct SearchNode {
   std::vector<StagePlan> prefix;  // stages covering layers [0, prefix_end)
   topo::AllocationState state;
@@ -59,6 +80,7 @@ PlanEstimate DapplePlanner::Evaluate(const ParallelPlan& plan) const {
 }
 
 PlanResult DapplePlanner::Plan() const {
+  const auto search_start = std::chrono::steady_clock::now();
   const int num_layers = model_->num_layers();
   const int num_devices = cluster_->num_devices();
   const int max_stages =
@@ -66,10 +88,38 @@ PlanResult DapplePlanner::Plan() const {
   DAPPLE_CHECK_GT(num_devices, 0);
 
   LatencyEstimator estimator(*model_, *cluster_, options_.latency);
+  std::unique_ptr<StageCostCache> cache;
+  if (options_.use_stage_cache && num_devices <= kStageCacheMaxDevices) {
+    cache = std::make_unique<StageCostCache>(
+        static_cast<std::size_t>(std::max(1, options_.cache_shards)));
+    estimator.set_stage_cache(cache.get());
+  }
+
+  // Thread plumbing: 0 = shared pool, 1 = serial inline, n > 1 = dedicated
+  // pool. The serial path bypasses the pool entirely so single-threaded
+  // callers (tests, tiny replans) pay no synchronization at all.
+  std::unique_ptr<ThreadPool> local_pool;
+  ThreadPool* pool = nullptr;
+  if (options_.num_threads == 0) {
+    pool = &ThreadPool::Shared();
+  } else if (options_.num_threads > 1) {
+    local_pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options_.num_threads));
+    pool = local_pool.get();
+  }
+  auto for_each = [&](std::size_t count, const std::function<void(std::size_t)>& body) {
+    if (pool == nullptr) {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+    } else {
+      pool->ParallelFor(count, body);
+    }
+  };
 
   PlanResult best;
   best.estimate.feasible = false;
   best.estimate.latency = std::numeric_limits<TimeSec>::infinity();
+  best.stats.threads =
+      pool == nullptr ? 1 : static_cast<int>(pool->num_threads());
   // Track the best infeasible plan too so error messages are informative.
   std::string last_infeasible;
   long evaluated = 0;
@@ -85,20 +135,20 @@ PlanResult DapplePlanner::Plan() const {
   };
   std::vector<Alternative> alternatives;
   std::set<std::string> alternative_sigs;
-  auto plan_signature = [](const ParallelPlan& p) {
-    std::string sig;
-    for (const StagePlan& s : p.stages) {
-      sig += std::to_string(s.layer_begin) + "-" + std::to_string(s.layer_end) + "@";
-      for (topo::DeviceId d : s.devices.devices()) sig += std::to_string(d) + ",";
-      sig += "|";
-    }
-    return sig;
-  };
-  auto record_candidate = [&](const ParallelPlan& plan, const PlanEstimate& est) {
+  auto record_candidate = [&](const ParallelPlan& plan, const PlanEstimate& est,
+                              const std::string& sig) {
     if (options_.keep_alternatives <= 0) return;
-    std::string sig = plan_signature(plan);
+    // Fast reject: a candidate strictly worse than the current k-th best
+    // can never enter the list, so skip the copy + re-sort the slow path
+    // pays. Ties fall through to the old path so eviction order (and with
+    // it every downstream artifact) is bit-identical to the unoptimized
+    // code. This runs once per feasible candidate — millions per search.
+    if (static_cast<int>(alternatives.size()) >= options_.keep_alternatives &&
+        est.latency > alternatives.back().estimate.latency) {
+      return;
+    }
     if (!alternative_sigs.insert(sig).second) return;
-    alternatives.push_back({plan, est, std::move(sig)});
+    alternatives.push_back({plan, est, sig});
     std::sort(alternatives.begin(), alternatives.end(), [](const auto& a, const auto& b) {
       return a.estimate.latency < b.estimate.latency;
     });
@@ -129,13 +179,17 @@ PlanResult DapplePlanner::Plan() const {
   };
 
   // Sequential merge of an evaluated candidate into the incumbent state.
-  auto merge = [&](const ParallelPlan& plan, const PlanEstimate& est) -> std::optional<double> {
+  // This is the ONLY code that touches `best`/`alternatives`, and it runs
+  // in the exact enumeration order of the serial search — determinism
+  // across thread counts by construction.
+  auto merge = [&](const ParallelPlan& plan, const PlanEstimate& est,
+                   const std::string& sig) -> std::optional<double> {
     ++evaluated;
     if (!est.feasible) {
       last_infeasible = est.infeasible_reason;
       return std::nullopt;
     }
-    record_candidate(plan, est);
+    record_candidate(plan, est, sig);
     if (est.latency < best.estimate.latency || !best.estimate.feasible) {
       best.plan = plan;
       best.estimate = est;
@@ -147,7 +201,7 @@ PlanResult DapplePlanner::Plan() const {
     auto plan = build_completed(node, prefix_end);
     if (!plan) return std::nullopt;
     const PlanEstimate est = estimator.Estimate(*plan, options_.global_batch_size);
-    return merge(*plan, est);
+    return merge(*plan, est, PlanSignature(*plan));
   };
 
   // Level-by-level DP: frontier[j] holds the best node per canonical
@@ -161,25 +215,54 @@ PlanResult DapplePlanner::Plan() const {
     frontier[0].emplace(CanonicalKey(root.state), std::move(root));
   }
 
-  // One candidate expansion of a frontier node: carve stage [j, jp) onto
-  // `devices`, completing the rest with the default suffix.
+  // One candidate expansion: carve stage [j, jp) onto the subproblem's
+  // devices, completing the rest with the default suffix.
   struct Expansion {
     SearchNode child;
     int jp = 0;
     std::optional<ParallelPlan> completed;
     PlanEstimate estimate;
+    std::string signature;  // precomputed off the merge thread
+  };
+
+  // One unit of parallel work: a (frontier node, device placement) pair
+  // that expands every split point jp on its own. Coarser than a single
+  // candidate (good cache locality: all jp share the placement's stage
+  // vocabulary), finer than a frontier node (parallelism exists even at
+  // level 0, where the frontier is a single root).
+  struct Subproblem {
+    const SearchNode* node = nullptr;
+    int j = 0;
+    topo::DeviceSet devices;
+    topo::PlacementPolicy policy = topo::PlacementPolicy::kFreshFirst;
+    std::string child_key;         // CanonicalKey of the committed state
+    std::vector<Expansion> expansions;  // filled by the parallel phase
   };
 
   for (int j = 0; j < num_layers; ++j) {
-    // Phase 1 (sequential, cheap): enumerate this level's expansions.
-    std::vector<Expansion> expansions;
-    for (auto& [key, node] : frontier[static_cast<std::size_t>(j)]) {
+    auto& level_nodes = frontier[static_cast<std::size_t>(j)];
+    if (level_nodes.empty()) continue;
+    ++best.stats.levels;
+    auto phase_clock = std::chrono::steady_clock::now();
+    auto lap = [&phase_clock] {
+      const auto now = std::chrono::steady_clock::now();
+      const double s = std::chrono::duration<double>(now - phase_clock).count();
+      phase_clock = now;
+      return s;
+    };
+
+    // Phase 1 (sequential, cheap): enumerate this level's subproblems in
+    // the canonical order: node (map order) -> size m -> deduped policy.
+    std::vector<Subproblem> subproblems;
+    for (auto& [key, node] : level_nodes) {
       (void)key;
       if (static_cast<int>(node.prefix.size()) + 1 >= max_stages) continue;
       // Nodes whose default-suffix completion was infeasible (tpl = inf)
       // must stay expandable: splitting the suffix further may restore
       // memory feasibility (this is exactly how AmoebaNet-36, which cannot
-      // run data-parallel, still gets planned).
+      // run data-parallel, still gets planned). Pruning reads the incumbent
+      // only here, between levels, so it cannot observe mid-level merge
+      // order and stays identical at every thread count.
       if (options_.prune_slack > 0.0 && best.estimate.feasible &&
           std::isfinite(node.tpl) &&
           node.tpl > best.estimate.latency * options_.prune_slack) {
@@ -205,50 +288,82 @@ PlanResult DapplePlanner::Plan() const {
           placement_policies.push_back(policy);
         }
         for (std::size_t p = 0; p < placements.size(); ++p) {
-          for (int jp = j + 1; jp < num_layers; ++jp) {
-            Expansion e{SearchNode{node.prefix, node.state, 0.0}, jp, std::nullopt, {}};
-            StagePlan stage;
-            stage.layer_begin = j;
-            stage.layer_end = jp;
-            stage.devices = placements[p];
-            stage.policy = placement_policies[p];
-            e.child.prefix.push_back(std::move(stage));
-            e.child.state.Commit(placements[p]);
-            e.completed = build_completed(e.child, jp);
-            expansions.push_back(std::move(e));
-          }
+          Subproblem sub;
+          sub.node = &node;
+          sub.j = j;
+          sub.devices = std::move(placements[p]);
+          sub.policy = placement_policies[p];
+          subproblems.push_back(std::move(sub));
         }
       }
     }
+    best.stats.subproblems += static_cast<long>(subproblems.size());
+    best.stats.enumerate_seconds += lap();
 
-    // Phase 2 (parallel, hot): evaluate every completed candidate. The
-    // estimator is pure, so evaluations are independent; results land in
-    // their own slots.
-    ThreadPool::Shared().ParallelFor(expansions.size(), [&](std::size_t i) {
-      Expansion& e = expansions[i];
-      if (e.completed) {
-        e.estimate = estimator.Estimate(*e.completed, options_.global_batch_size);
+    // Phase 2 (parallel, hot): each subproblem expands all of its split
+    // points, estimating the completed candidates through the shared memo
+    // cache. Results land in the subproblem's own slot; nothing here reads
+    // or writes search-global state.
+    for_each(subproblems.size(), [&](std::size_t s) {
+      Subproblem& sub = subproblems[s];
+      topo::AllocationState child_state = sub.node->state;
+      child_state.Commit(sub.devices);
+      sub.child_key = CanonicalKey(child_state);
+      sub.expansions.reserve(static_cast<std::size_t>(num_layers - sub.j - 1));
+      for (int jp = sub.j + 1; jp < num_layers; ++jp) {
+        Expansion e{SearchNode{sub.node->prefix, child_state, 0.0}, jp, std::nullopt,
+                    {}, {}};
+        StagePlan stage;
+        stage.layer_begin = sub.j;
+        stage.layer_end = jp;
+        stage.devices = sub.devices;
+        stage.policy = sub.policy;
+        e.child.prefix.push_back(std::move(stage));
+        e.completed = build_completed(e.child, jp);
+        if (e.completed) {
+          e.estimate = estimator.Estimate(*e.completed, options_.global_batch_size);
+          if (options_.keep_alternatives > 0) e.signature = PlanSignature(*e.completed);
+        }
+        sub.expansions.push_back(std::move(e));
       }
     });
-    obs::MetricsRegistry::Global()
-        .histogram("planner.level_expansions")
-        .Observe(static_cast<double>(expansions.size()));
+    best.stats.evaluate_seconds += lap();
+    {
+      std::size_t level_expansions = 0;
+      for (const Subproblem& sub : subproblems) level_expansions += sub.expansions.size();
+      obs::MetricsRegistry::Global()
+          .histogram("planner.level_expansions")
+          .Observe(static_cast<double>(level_expansions));
+    }
 
     // Phase 3 (sequential, deterministic): merge in enumeration order —
-    // identical outcomes to the single-threaded search.
-    for (Expansion& e : expansions) {
-      std::optional<double> tpl;
-      if (e.completed) tpl = merge(*e.completed, e.estimate);
-      e.child.tpl = tpl.value_or(std::numeric_limits<double>::infinity());
-      const std::string child_key = CanonicalKey(e.child.state);
-      auto& level = frontier[static_cast<std::size_t>(e.jp)];
-      auto it = level.find(child_key);
-      if (it == level.end() || e.child.tpl < it->second.tpl) {
-        level.insert_or_assign(child_key, std::move(e.child));
+    // subproblem order, then jp ascending — identical outcomes to the
+    // single-threaded search.
+    for (Subproblem& sub : subproblems) {
+      for (Expansion& e : sub.expansions) {
+        std::optional<double> tpl;
+        if (e.completed) tpl = merge(*e.completed, e.estimate, e.signature);
+        e.child.tpl = tpl.value_or(std::numeric_limits<double>::infinity());
+        auto& level = frontier[static_cast<std::size_t>(e.jp)];
+        auto it = level.find(sub.child_key);
+        if (it == level.end() || e.child.tpl < it->second.tpl) {
+          level.insert_or_assign(sub.child_key, std::move(e.child));
+        }
       }
     }
     // Free processed level early; the search only moves forward.
-    frontier[static_cast<std::size_t>(j)].clear();
+    level_nodes.clear();
+    best.stats.merge_seconds += lap();
+
+    // Tear the level's expansion storage down on the pool: millions of
+    // heap-backed candidates whose destruction parallelizes as well as
+    // their construction did. Destruction order is irrelevant to the
+    // search state (merge already consumed every expansion), so this
+    // cannot perturb determinism.
+    for_each(subproblems.size(), [&subproblems](std::size_t s) {
+      std::vector<Expansion>().swap(subproblems[s].expansions);
+    });
+    best.stats.evaluate_seconds += lap();
   }
 
   best.candidates_evaluated = evaluated;
@@ -257,12 +372,27 @@ PlanResult DapplePlanner::Plan() const {
     best.alternatives.emplace_back(std::move(alt.plan), alt.estimate);
   }
 
+  best.stats.candidates_evaluated = evaluated;
+  best.stats.candidates_pruned = pruned;
+  if (cache) {
+    const CacheShardStats totals = cache->TotalStats();
+    best.stats.cache_hits = totals.hits;
+    best.stats.cache_misses = totals.misses;
+    best.stats.cache_entries = totals.entries;
+    best.stats.cache_compute_seconds = totals.compute_seconds;
+    best.stats.shards = cache->PerShardStats();
+  }
+  best.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - search_start)
+          .count();
+
   {
     auto& metrics = obs::MetricsRegistry::Global();
     metrics.counter("planner.plans").Increment();
     metrics.counter("planner.candidates_evaluated").Increment(evaluated);
     metrics.counter("planner.candidates_pruned").Increment(pruned);
   }
+  ExportSearchStats(best.stats);
 
   // Pin the pure data-parallel plan into the alternatives (appended past
   // the top-k cut if necessary): it is the paper's universal baseline and

@@ -15,6 +15,7 @@
 
 #include "planner/latency.h"
 #include "planner/plan.h"
+#include "planner/stage_cache.h"
 
 namespace dapple::planner {
 
@@ -34,6 +35,19 @@ struct PlannerOptions {
   /// the three policies. Empty = all (the paper's full search space).
   std::vector<topo::PlacementPolicy> policies;
   LatencyOptions latency;
+  /// Worker threads for the subproblem-parallel search: 0 = the shared
+  /// pool (sized to hardware concurrency), 1 = fully serial in the calling
+  /// thread, n > 1 = a dedicated pool of n workers for this search. The
+  /// winning plan is byte-identical at every setting (the merge is
+  /// sequential in enumeration order; parallel work is slot-indexed).
+  int num_threads = 0;
+  /// Lock shards of the stage-cost memo cache (rounded up to a power of
+  /// two). More shards cut contention when many threads evaluate at once.
+  int cache_shards = 16;
+  /// Disables the stage-cost memo cache (A/B benchmarking hook). Cached
+  /// values are bit-identical to recomputation, so this never changes the
+  /// resulting plan — only how fast the search finds it.
+  bool use_stage_cache = true;
 };
 
 struct PlanResult {
@@ -44,6 +58,8 @@ struct PlanResult {
   /// Best distinct candidates by analytic latency, ascending (includes the
   /// winner at index 0).
   std::vector<std::pair<ParallelPlan, PlanEstimate>> alternatives;
+  /// How the search ran: decomposition, cache traffic, wall time.
+  PlannerSearchStats stats;
 };
 
 class DapplePlanner {

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "planner/stage_cache.h"
 
 namespace dapple::planner {
 
@@ -163,45 +164,70 @@ PlanEstimate LatencyEstimator::Estimate(const ParallelPlan& plan,
   est.num_micro_batches = mb.num_micro_batches;
   const int M = est.num_micro_batches;
 
-  // Expanded stage list: comp0, comm01, comp1, comm12, ...
+  // Expanded stage list: comp0, comm01, comp1, comm12, ... Each entry's
+  // cost is a pure function of (layer range, devices, micro-batch size)
+  // given this estimator's fixed model/cluster/options, so it is memoized
+  // in the attached stage-cost cache when the planner provides one.
   const int num_comp = plan.num_stages();
   for (int i = 0; i < num_comp; ++i) {
     const StagePlan& stage = plan.stages[static_cast<std::size_t>(i)];
     const double samples =
         static_cast<double>(est.micro_batch_size) / stage.replication();
-    // The slowest replica gates the stage: a split micro-batch completes
-    // only when every slice has (heterogeneous clusters, stragglers).
-    double stage_speed = std::numeric_limits<double>::infinity();
-    for (topo::DeviceId d : stage.devices.devices()) {
-      stage_speed = std::min(stage_speed, cluster_->device_speed(d));
-    }
-    StageCost comp;
-    comp.is_comm = false;
-    comp.comp_index = i;
-    comp.forward =
-        model_->ForwardTime(stage.layer_begin, stage.layer_end, samples, stage_speed);
-    comp.backward =
-        model_->BackwardTime(stage.layer_begin, stage.layer_end, samples, stage_speed);
-    if (options_.recompute) {
-      comp.backward += options_.recompute_overhead * comp.forward;
-    }
-    comp.allreduce_raw = stage.replication() > 1
-                             ? cost_.AllReduce(stage.devices, model_->ParamBytes(
-                                                                  stage.layer_begin,
-                                                                  stage.layer_end))
-                             : 0.0;
-    comp.allreduce =
-        ExposedAllReduce(stage.layer_begin, stage.layer_end, stage.devices, samples);
+    auto compute_comp = [&]() -> StageCostValue {
+      // The slowest replica gates the stage: a split micro-batch completes
+      // only when every slice has (heterogeneous clusters, stragglers).
+      double stage_speed = std::numeric_limits<double>::infinity();
+      for (topo::DeviceId d : stage.devices.devices()) {
+        stage_speed = std::min(stage_speed, cluster_->device_speed(d));
+      }
+      StageCost comp;
+      comp.is_comm = false;
+      comp.forward =
+          model_->ForwardTime(stage.layer_begin, stage.layer_end, samples, stage_speed);
+      comp.backward =
+          model_->BackwardTime(stage.layer_begin, stage.layer_end, samples, stage_speed);
+      if (options_.recompute) {
+        comp.backward += options_.recompute_overhead * comp.forward;
+      }
+      comp.allreduce_raw = stage.replication() > 1
+                               ? cost_.AllReduce(stage.devices, model_->ParamBytes(
+                                                                    stage.layer_begin,
+                                                                    stage.layer_end))
+                               : 0.0;
+      comp.allreduce =
+          ExposedAllReduce(stage.layer_begin, stage.layer_end, stage.devices, samples);
+      return {comp, 0};
+    };
+    StageCost comp =
+        cache_ ? cache_
+                     ->GetOrCompute(StageCostCache::CompKey(stage.layer_begin,
+                                                            stage.layer_end, stage.devices,
+                                                            est.micro_batch_size),
+                                    compute_comp)
+                     .cost
+               : compute_comp().cost;
+    comp.comp_index = i;  // plan-relative, so assigned outside the memo
     est.stages.push_back(comp);
 
     if (i + 1 < num_comp) {
       const StagePlan& next = plan.stages[static_cast<std::size_t>(i + 1)];
-      const Bytes act = model_->ActivationAt(stage.layer_end,
-                                             static_cast<double>(est.micro_batch_size));
-      StageCost comm;
-      comm.is_comm = true;
-      comm.forward = cost_.CrossStage(stage.devices, next.devices, act);
-      comm.backward = cost_.CrossStage(next.devices, stage.devices, act);
+      auto compute_comm = [&]() -> StageCostValue {
+        const Bytes act = model_->ActivationAt(stage.layer_end,
+                                               static_cast<double>(est.micro_batch_size));
+        StageCost comm;
+        comm.is_comm = true;
+        comm.forward = cost_.CrossStage(stage.devices, next.devices, act);
+        comm.backward = cost_.CrossStage(next.devices, stage.devices, act);
+        return {comm, 0};
+      };
+      const StageCost comm =
+          cache_ ? cache_
+                       ->GetOrCompute(StageCostCache::CommKey(stage.layer_end, stage.devices,
+                                                              next.devices,
+                                                              est.micro_batch_size),
+                                      compute_comm)
+                       .cost
+                 : compute_comm().cost;
       est.stages.push_back(comm);
     }
   }
@@ -284,7 +310,19 @@ PlanEstimate LatencyEstimator::Estimate(const ParallelPlan& plan,
     const double samples =
         static_cast<double>(est.micro_batch_size) / stage.replication();
     const int k = std::min(num_comp - i, M);
-    peak = std::max(peak, StagePeakMemory(stage, samples, k));
+    auto compute_memory = [&]() -> StageCostValue {
+      return {StageCost{}, StagePeakMemory(stage, samples, k)};
+    };
+    const Bytes stage_peak =
+        cache_ ? cache_
+                     ->GetOrCompute(StageCostCache::MemoryKey(stage.layer_begin,
+                                                              stage.layer_end,
+                                                              stage.replication(),
+                                                              est.micro_batch_size, k),
+                                    compute_memory)
+                     .bytes
+               : compute_memory().bytes;
+    peak = std::max(peak, stage_peak);
   }
   est.max_peak_memory = peak;
   if (options_.check_memory && peak > cluster_->device().memory) {

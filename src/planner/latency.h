@@ -22,6 +22,8 @@
 
 namespace dapple::planner {
 
+class StageCostCache;
+
 /// One entry of the expanded stage list (computation and network stages
 /// interleaved: comp0, comm01, comp1, ...).
 struct StageCost {
@@ -103,6 +105,13 @@ class LatencyEstimator {
   const topo::Cluster& cluster() const { return *cluster_; }
   const LatencyOptions& options() const { return options_; }
 
+  /// Attaches a stage-cost memo cache (see planner/stage_cache.h). The
+  /// cache must outlive the estimator's use of it and is consulted from
+  /// whatever threads call Estimate concurrently; nullptr detaches. Cached
+  /// values are bit-identical to recomputation, so attaching a cache never
+  /// changes an estimate.
+  void set_stage_cache(StageCostCache* cache) { cache_ = cache; }
+
   /// Full estimate for a plan at a global batch size.
   PlanEstimate Estimate(const ParallelPlan& plan, long global_batch_size) const;
 
@@ -134,6 +143,7 @@ class LatencyEstimator {
   const topo::Cluster* cluster_;
   comm::CostModel cost_;
   LatencyOptions options_;
+  StageCostCache* cache_ = nullptr;
 };
 
 }  // namespace dapple::planner

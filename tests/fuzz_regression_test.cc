@@ -4,7 +4,10 @@
 // cannot loosen unnoticed between full fuzz sweeps.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "check/fuzz.h"
+#include "fault/script.h"
 
 namespace dapple {
 namespace {
@@ -42,15 +45,40 @@ TEST(FuzzRegression, Seed3410IsTheSweepWorstCaseAndPasses) {
   EXPECT_LE(out.analytic_latency / out.simulated_makespan, 1.10);
 }
 
-// Fault-fuzz seed 27: a DP plan that uses 2 of the cluster's 4 devices,
-// leaving the task graph with fewer referenced resources than the cluster
-// has hardware, plus a fault script that targets the idle server. The
-// first BuildSpeedProfiles emitted windows for the idle devices and the
-// engine rejected them ("speed profile for unknown resource 2"); profiles
-// must silently skip resources the graph never references — a fault on idle
-// hardware is a no-op.
+// Fault-fuzz seed 27: a DP plan that uses a strict subset of the cluster's
+// devices, leaving the task graph with fewer referenced resources than the
+// cluster has hardware, plus a fault script that targets only the idle
+// hardware. The first BuildSpeedProfiles emitted windows for the idle
+// devices and the engine rejected them ("speed profile for unknown
+// resource 2"); profiles must silently skip resources the graph never
+// references — a fault on idle hardware is a no-op.
+//
+// Re-pinned when MakeFaultFuzzCase split the script draw onto its own
+// rng stream (decoupling scripts from topology draws); seed 27 kept the
+// property under the new stream, and the preconditions below now assert it
+// outright so a future generator change that loses it fails loudly here
+// instead of quietly pinning nothing.
 TEST(FuzzRegression, FaultSeed27ToleratesFaultsOnIdleDevices) {
-  const check::FaultFuzzOutcome out = check::RunFaultFuzzSeed(27);
+  const check::FaultFuzzCase c = check::MakeFaultFuzzCase(27);
+  std::set<topo::DeviceId> used;
+  for (const auto& stage : c.plan.stages) {
+    for (topo::DeviceId d : stage.devices.devices()) used.insert(d);
+  }
+  ASSERT_LT(static_cast<int>(used.size()), c.cluster.num_devices()) << c.Describe();
+  bool targets_idle_hardware = false;
+  for (const fault::FaultEvent& e : c.script.events) {
+    if (e.device >= 0 && !used.contains(e.device)) targets_idle_hardware = true;
+    if (e.server >= 0) {
+      bool server_used = false;
+      for (int g = 0; g < c.cluster.gpus_per_server(); ++g) {
+        if (used.contains(e.server * c.cluster.gpus_per_server() + g)) server_used = true;
+      }
+      if (!server_used) targets_idle_hardware = true;
+    }
+  }
+  ASSERT_TRUE(targets_idle_hardware) << c.Describe();
+
+  const check::FaultFuzzOutcome out = check::RunFaultFuzzCase(c);
   EXPECT_TRUE(out.ok()) << out.Summary();
   EXPECT_GE(out.pipelines_validated, 1);
 }

@@ -11,6 +11,7 @@
 #include <limits>
 #include <vector>
 
+#include "fault/degrade.h"
 #include "model/zoo.h"
 #include "planner/bruteforce.h"
 #include "planner/dp_planner.h"
@@ -79,6 +80,81 @@ TEST(PlannerEquivalenceTest, DpMatchesBruteForceOnAllSmallInstances) {
     }
   }
   EXPECT_EQ(instances, 50);  // 5 clusters x 5 layer counts x 2 models
+}
+
+TEST(PlannerEquivalenceTest, ParallelSearchMatchesBruteForceToo) {
+  // The brute-force equivalence holds through the parallel code path as
+  // well: 8 worker threads, memo cache on, same optimum to the bit. This is
+  // stronger than the determinism sweep (parallel == serial) because the
+  // reference here is an independent enumerator, not the serial DP.
+  int instances = 0;
+  for (const topo::Cluster& cluster : SmallClusters()) {
+    for (int layers = 3; layers <= 6; layers += 3) {
+      for (const model::ModelProfile& m : SmallModels(layers)) {
+        const int max_stages = std::min({layers, cluster.num_devices(), 4});
+
+        BruteForceOptions bf;
+        bf.global_batch_size = 8;
+        bf.max_stages = max_stages;
+        const PlanResult optimal = BruteForcePlanner(m, cluster, bf).Plan();
+
+        PlannerOptions dp;
+        dp.global_batch_size = 8;
+        dp.max_stages = max_stages;
+        dp.prune_slack = 0;
+        dp.num_threads = 8;
+        const PlanResult ours = DapplePlanner(m, cluster, dp).Plan();
+
+        EXPECT_NEAR(ours.estimate.latency, optimal.estimate.latency, 1e-9)
+            << m.name() << " x" << layers << "L on " << cluster.name()
+            << " (8 threads): dp=" << ours.plan.ToString()
+            << " optimal=" << optimal.plan.ToString();
+        ++instances;
+      }
+    }
+  }
+  EXPECT_EQ(instances, 20);  // 5 clusters x 2 layer counts x 2 models
+}
+
+TEST(PlannerEquivalenceTest, DegradedClusterWithDeadServerStaysOptimal) {
+  // Elastic replan edge case: a whole server dies, the fault layer builds a
+  // dense survivor cluster, and the planner re-runs on it. The replan must
+  // still be the exact optimum for the degraded topology — through both the
+  // serial and the parallel path. A 3-server Config-B cluster losing one
+  // server leaves an asymmetric 2-device remainder, the shape a buggy
+  // canonicalization would mishandle.
+  const topo::Cluster cluster = topo::MakeConfigB(3);
+  const auto m = model::MakeUniformSynthetic(4, 0.01, 0.02, 1_MiB, 2'000'000, 1);
+
+  for (topo::DeviceId dead = 0; dead < cluster.num_devices(); ++dead) {
+    fault::ClusterState state;
+    state.device_dead.assign(static_cast<std::size_t>(cluster.num_devices()), false);
+    state.device_dead[static_cast<std::size_t>(dead)] = true;
+    state.server_compute.assign(static_cast<std::size_t>(cluster.num_servers()), 1.0);
+    state.server_bandwidth.assign(static_cast<std::size_t>(cluster.num_servers()), 1.0);
+    state.server_extra_latency.assign(static_cast<std::size_t>(cluster.num_servers()), 0.0);
+    const fault::DegradedCluster degraded = fault::MakeDegradedCluster(cluster, state);
+    ASSERT_TRUE(degraded.feasible);
+    ASSERT_EQ(degraded.cluster.num_devices(), cluster.num_devices() - 1);
+
+    BruteForceOptions bf;
+    bf.global_batch_size = 8;
+    bf.max_stages = 2;
+    const PlanResult optimal = BruteForcePlanner(m, degraded.cluster, bf).Plan();
+
+    for (int threads : {1, 8}) {
+      PlannerOptions dp;
+      dp.global_batch_size = 8;
+      dp.max_stages = 2;
+      dp.prune_slack = 0;
+      dp.num_threads = threads;
+      const PlanResult ours = DapplePlanner(m, degraded.cluster, dp).Plan();
+      EXPECT_NEAR(ours.estimate.latency, optimal.estimate.latency, 1e-9)
+          << "dead device " << dead << ", " << threads
+          << " threads: dp=" << ours.plan.ToString()
+          << " optimal=" << optimal.plan.ToString();
+    }
+  }
 }
 
 TEST(PlannerEquivalenceTest, EverySinglePolicyRestrictionIsAlsoOptimalForIt) {

@@ -1,0 +1,174 @@
+// RemapPlanToCluster fallback coverage: when checkpoint-restart (or a
+// failed elastic replan) remaps a plan onto a degraded cluster, the result
+// must either be a structurally sound plan that references only surviving
+// devices — shrinking stage replication to what still fits — or an explicit
+// nullopt when the cluster has fewer devices than the plan has stages.
+// Every successful remap is additionally executed fault-free and pushed
+// through the full ScheduleValidator invariant set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/validator.h"
+#include "fault/degrade.h"
+#include "fault/script.h"
+#include "model/zoo.h"
+#include "planner/dp_planner.h"
+#include "runtime/graph_builder.h"
+#include "sim/engine.h"
+#include "topo/cluster.h"
+
+namespace dapple::fault {
+namespace {
+
+ClusterState StateWithCrashes(const topo::Cluster& cluster,
+                              const std::vector<topo::DeviceId>& dead) {
+  std::string text;
+  for (topo::DeviceId d : dead) {
+    text += "crash device=" + std::to_string(d) + " at=1.0\n";
+  }
+  const FaultScript script = ParseFaultScript(text);
+  return StateAt(script, cluster, 2.0);
+}
+
+/// Asserts the remapped plan's structure: same layer ranges, only live
+/// dense device ids, no id reused across stages, replication never grown.
+void CheckRemapStructure(const planner::ParallelPlan& original,
+                         const planner::ParallelPlan& remapped,
+                         const DegradedCluster& degraded, const ClusterState& state) {
+  ASSERT_EQ(remapped.stages.size(), original.stages.size());
+  std::set<topo::DeviceId> used;
+  for (std::size_t i = 0; i < remapped.stages.size(); ++i) {
+    const planner::StagePlan& orig = original.stages[i];
+    const planner::StagePlan& stage = remapped.stages[i];
+    EXPECT_EQ(stage.layer_begin, orig.layer_begin) << "stage " << i;
+    EXPECT_EQ(stage.layer_end, orig.layer_end) << "stage " << i;
+    EXPECT_GE(stage.replication(), 1) << "stage " << i;
+    EXPECT_LE(stage.replication(), orig.replication())
+        << "remap grew replication at stage " << i;
+    for (topo::DeviceId d : stage.devices.devices()) {
+      EXPECT_TRUE(used.insert(d).second) << "device " << d << " assigned twice";
+      ASSERT_GE(d, 0);
+      ASSERT_LT(d, degraded.cluster.num_devices());
+      const topo::DeviceId orig_id =
+          degraded.to_original_device[static_cast<std::size_t>(d)];
+      EXPECT_FALSE(state.device_dead[static_cast<std::size_t>(orig_id)])
+          << "remapped stage " << i << " references dead original device " << orig_id;
+    }
+  }
+}
+
+TEST(RemapFallbackTest, ReportsFailureWhenFewerDevicesThanStages) {
+  // Config C: one GPU per server, so killing a device removes exactly one
+  // device from the degraded cluster.
+  const topo::Cluster cluster = topo::MakeConfigC(4);
+  planner::ParallelPlan plan;
+  plan.model = "uniform";
+  for (int i = 0; i < 4; ++i) {
+    planner::StagePlan s;
+    s.layer_begin = i;
+    s.layer_end = i + 1;
+    s.devices = topo::DeviceSet::Range(i, 1);
+    plan.stages.push_back(std::move(s));
+  }
+
+  for (const std::vector<topo::DeviceId>& dead :
+       {std::vector<topo::DeviceId>{0, 1}, std::vector<topo::DeviceId>{0, 2, 3}}) {
+    const ClusterState state = StateWithCrashes(cluster, dead);
+    const DegradedCluster degraded = MakeDegradedCluster(cluster, state);
+    ASSERT_TRUE(degraded.feasible);
+    ASSERT_LT(degraded.cluster.num_devices(), static_cast<int>(plan.stages.size()));
+    EXPECT_FALSE(RemapPlanToCluster(plan, degraded).has_value())
+        << "remap must report failure, not fabricate a plan, with "
+        << degraded.cluster.num_devices() << " devices for " << plan.stages.size()
+        << " stages";
+  }
+}
+
+TEST(RemapFallbackTest, ShrinksReplicationOntoSurvivors) {
+  const topo::Cluster cluster = topo::MakeConfigB(6);
+  planner::ParallelPlan plan;
+  plan.model = "uniform";
+  planner::StagePlan wide;
+  wide.layer_begin = 0;
+  wide.layer_end = 2;
+  wide.devices = topo::DeviceSet::Range(0, 4);  // replication 4
+  plan.stages.push_back(std::move(wide));
+  planner::StagePlan tail;
+  tail.layer_begin = 2;
+  tail.layer_end = 4;
+  tail.devices = topo::DeviceSet::Range(4, 2);  // replication 2
+  plan.stages.push_back(std::move(tail));
+
+  const ClusterState state = StateWithCrashes(cluster, {1, 5});
+  const DegradedCluster degraded = MakeDegradedCluster(cluster, state);
+  ASSERT_TRUE(degraded.feasible);
+  ASSERT_EQ(degraded.cluster.num_devices(), 4);
+
+  const auto remapped = RemapPlanToCluster(plan, degraded);
+  ASSERT_TRUE(remapped.has_value());
+  CheckRemapStructure(plan, *remapped, degraded, state);
+  // Six devices shrank to four, so the total replication must have shrunk
+  // too — and every survivor count is respected.
+  int total = 0;
+  for (const planner::StagePlan& s : remapped->stages) total += s.replication();
+  EXPECT_LE(total, degraded.cluster.num_devices());
+}
+
+TEST(RemapFallbackTest, EveryRemapOutputPassesTheScheduleValidator) {
+  const auto model = model::MakeUniformSynthetic(6, 0.01, 0.02, 1_MiB, 2'000'000, 1);
+  std::vector<topo::Cluster> clusters = {
+      topo::MakeConfigB(4), topo::MakeConfigC(4),
+      topo::Cluster("2x2", 2, 2, topo::DeviceSpec{}, topo::InterconnectSpec{})};
+
+  int validated = 0;
+  int refused = 0;
+  for (const topo::Cluster& cluster : clusters) {
+    planner::PlannerOptions po;
+    po.global_batch_size = 8;
+    po.latency.check_memory = false;
+    const planner::ParallelPlan plan =
+        planner::DapplePlanner(model, cluster, po).Plan().plan;
+
+    // Kill every single device, and every adjacent pair, in turn.
+    std::vector<std::vector<topo::DeviceId>> kill_sets;
+    for (topo::DeviceId d = 0; d < cluster.num_devices(); ++d) kill_sets.push_back({d});
+    for (topo::DeviceId d = 0; d + 1 < cluster.num_devices(); ++d) {
+      kill_sets.push_back({d, d + 1});
+    }
+
+    for (const auto& dead : kill_sets) {
+      const ClusterState state = StateWithCrashes(cluster, dead);
+      const DegradedCluster degraded = MakeDegradedCluster(cluster, state);
+      if (!degraded.feasible) continue;
+      const auto remapped = RemapPlanToCluster(plan, degraded);
+      if (!remapped) {
+        // The only legitimate reason to refuse is too few devices.
+        EXPECT_LT(degraded.cluster.num_devices(), static_cast<int>(plan.stages.size()));
+        ++refused;
+        continue;
+      }
+      CheckRemapStructure(plan, *remapped, degraded, state);
+
+      runtime::BuildOptions build;
+      build.global_batch_size = 8;
+      build.enforce_memory_capacity = false;
+      const runtime::BuiltPipeline built =
+          runtime::GraphBuilder(model, degraded.cluster, *remapped, build).Build();
+      const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+      const check::ValidationReport report =
+          check::ScheduleValidator(*remapped, built.options).Validate(built, result);
+      EXPECT_TRUE(report.ok()) << "remap onto " << degraded.cluster.name()
+                               << " failed validation:\n"
+                               << report.ToString();
+      ++validated;
+    }
+  }
+  EXPECT_GT(validated, 10);  // the sweep must actually exercise remaps
+}
+
+}  // namespace
+}  // namespace dapple::fault

@@ -25,6 +25,7 @@ benches=(
   bench_table4_policy
   bench_table7_strategies
   bench_fault_recovery
+  bench_planner_scale
 )
 
 echo "=== configure ${build}"

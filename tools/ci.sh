@@ -11,6 +11,10 @@
 #   full           — the whole registered suite, which adds the `-L fuzz`
 #                    randomized sweeps and the `-L golden` byte-stability
 #                    tests (pushes to main)
+#   perf-smoke     — `ctest -L perf-smoke`: the planner determinism sweep
+#                    plus the --quick planner-scaling bench (seconds; runs
+#                    on the plain tree only, sanitizers would distort the
+#                    timing columns)
 #
 # Wider sweeps stay opt-in: `DAPPLE_FUZZ_ITERATIONS=100000 ctest -L fuzz`,
 # or `tools/dapple_fuzz --iterations 100000` / `--faults` directly.
@@ -24,8 +28,9 @@ tier="${DAPPLE_CI_TIER:-unit}"
 case "${tier}" in
   unit) label_args=(-L unit) ;;
   full) label_args=() ;;
+  perf-smoke) label_args=(-L perf-smoke) ;;
   *)
-    echo "unknown DAPPLE_CI_TIER '${tier}' (unit | full)" >&2
+    echo "unknown DAPPLE_CI_TIER '${tier}' (unit | full | perf-smoke)" >&2
     exit 2
     ;;
 esac
@@ -42,5 +47,9 @@ run_suite() {
 }
 
 run_suite "${prefix}"
-run_suite "${prefix}-asan" -DDAPPLE_SANITIZE=address,undefined
+# Sanitizer instrumentation would distort perf-smoke's timing columns, and
+# the determinism sweep it carries already ran under ASan in the unit tier.
+if [[ "${tier}" != "perf-smoke" ]]; then
+  run_suite "${prefix}-asan" -DDAPPLE_SANITIZE=address,undefined
+fi
 echo "=== ci ok"

@@ -44,6 +44,8 @@ int Usage() {
                "usage:\n"
                "  dapple zoo\n"
                "  dapple plan <model> <A|B|C> <servers> <gbs> [--save FILE]\n"
+               "              [--planner-threads N]  (0 = hardware concurrency,\n"
+               "               1 = serial; the plan is identical at every N)\n"
                "  dapple run  <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
                "              [--schedule dapple|gpipe] [--recompute] [--gantt]\n"
                "              [--trace FILE.json]\n"
@@ -55,7 +57,8 @@ int Usage() {
                "              [--policy stall|checkpoint|replan|all]\n"
                "              [--script FILE] [--script-text \"...\"] [--seed N]\n"
                "              [--horizon T] [--checkpoint-period N]\n"
-               "              [--json FILE] [--trace FILE.json]\n");
+               "              [--json FILE] [--trace FILE.json]\n"
+               "              [--planner-threads N]\n");
   return 2;
 }
 
@@ -80,17 +83,28 @@ int CmdPlan(int argc, char** argv) {
   const topo::Cluster cluster = ClusterFor(argv[1][0], std::atoi(argv[2]));
   const long gbs = std::atol(argv[3]);
   std::string save_path;
-  for (int i = 4; i + 1 < argc + 1; ++i) {
-    if (i < argc && std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
-      save_path = argv[i + 1];
+  planner::PlannerOptions planner_options;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--planner-threads") == 0 && i + 1 < argc) {
+      planner_options.num_threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return Usage();
     }
   }
 
   Session session(m, cluster);
-  const auto planned = session.Plan(gbs);
+  const auto planned = session.Plan(gbs, planner_options);
   std::printf("plan: %s (split %s), estimated latency %s, ACR %.2f\n",
               planned.plan.ToString().c_str(), planned.plan.SplitString().c_str(),
               FormatTime(planned.estimate.latency).c_str(), planned.estimate.acr);
+  std::printf("search: %d threads, %ld subproblems, cache %lld/%lld hits (%.0f%%), %.3fs\n",
+              planned.stats.threads, planned.stats.subproblems,
+              static_cast<long long>(planned.stats.cache_hits),
+              static_cast<long long>(planned.stats.cache_hits + planned.stats.cache_misses),
+              planned.stats.cache_hit_rate() * 100.0, planned.stats.wall_seconds);
   std::printf("%s", planned.plan.ToDetailedString().c_str());
   if (!save_path.empty()) {
     planner::SavePlan(save_path, planned.plan);
@@ -328,6 +342,8 @@ int CmdFaults(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--planner-threads") == 0 && i + 1 < argc) {
+      options.planner.num_threads = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage();
