@@ -6,6 +6,8 @@
 #include <mutex>
 #include <vector>
 
+#include "sim/batch.h"
+
 namespace dapple::bench {
 
 namespace {
@@ -89,10 +91,10 @@ void EnsureExitHookRegistered() {
   (void)registered;
 }
 
-}  // namespace
-
-EvalRow Evaluate(const model::ModelProfile& model, const topo::Cluster& cluster,
-                 long global_batch_size) {
+/// Plan-and-simulate without touching the shared record — EvaluateBatch
+/// computes rows concurrently, then records them in spec order.
+EvalRow ComputeRow(const model::ModelProfile& model, const topo::Cluster& cluster,
+                   long global_batch_size) {
   EvalRow row;
   row.model = model.name();
   row.config = cluster.name();
@@ -110,13 +112,34 @@ EvalRow Evaluate(const model::ModelProfile& model, const topo::Cluster& cluster,
       model, cluster, global_batch_size, planner::DataParallelVariant::kNoOverlap);
   row.dp_overlap = planner::EstimateDataParallel(
       model, cluster, global_batch_size, planner::DataParallelVariant::kOverlap);
-  EnsureExitHookRegistered();
-  {
-    JsonRecord& rec = Record();
-    std::lock_guard<std::mutex> lock(rec.mu);
-    rec.rows.push_back(row);
-  }
   return row;
+}
+
+void RecordRow(const EvalRow& row) {
+  EnsureExitHookRegistered();
+  JsonRecord& rec = Record();
+  std::lock_guard<std::mutex> lock(rec.mu);
+  rec.rows.push_back(row);
+}
+
+}  // namespace
+
+EvalRow Evaluate(const model::ModelProfile& model, const topo::Cluster& cluster,
+                 long global_batch_size) {
+  EvalRow row = ComputeRow(model, cluster, global_batch_size);
+  RecordRow(row);
+  return row;
+}
+
+std::vector<EvalRow> EvaluateBatch(const std::vector<EvalSpec>& specs, int sim_threads) {
+  sim::BatchRunner runner({.threads = sim_threads});
+  std::vector<EvalRow> rows =
+      runner.Map<EvalRow>(static_cast<int>(specs.size()), [&](int i) {
+        const EvalSpec& s = specs[static_cast<std::size_t>(i)];
+        return ComputeRow(*s.model, *s.cluster, s.global_batch_size);
+      });
+  for (const EvalRow& row : rows) RecordRow(row);
+  return rows;
 }
 
 topo::Cluster SixteenDeviceConfig(char config) {

@@ -28,6 +28,21 @@ struct EvalRow {
 EvalRow Evaluate(const model::ModelProfile& model, const topo::Cluster& cluster,
                  long global_batch_size);
 
+/// One configuration for EvaluateBatch; model and cluster are borrowed and
+/// must outlive the call.
+struct EvalSpec {
+  const model::ModelProfile* model = nullptr;
+  const topo::Cluster* cluster = nullptr;
+  long global_batch_size = 0;
+};
+
+/// Evaluates every spec across a sim::BatchRunner (`sim_threads`: 1 =
+/// inline serial, 0 = hardware concurrency). Returned rows match `specs`
+/// by index and are recorded into the bench JSON in that order regardless
+/// of scheduling, so the archived trajectory stays byte-stable at every
+/// thread count.
+std::vector<EvalRow> EvaluateBatch(const std::vector<EvalSpec>& specs, int sim_threads = 1);
+
 /// The cluster the paper uses for a config letter with 16 devices total
 /// ('A' = 2x8, 'B'/'C' = 16x1).
 topo::Cluster SixteenDeviceConfig(char config);

@@ -9,6 +9,7 @@
 #include "fault/degrade.h"
 #include "planner/dp_planner.h"
 #include "planner/latency.h"
+#include "sim/batch.h"
 #include "sim/engine.h"
 #include "topo/device_set.h"
 
@@ -283,6 +284,7 @@ FaultFuzzOutcome RunFaultFuzzCase(const FaultFuzzCase& c) {
 FuzzOutcome RunFuzzCase(const FuzzCase& c) {
   FuzzOutcome out;
   out.seed = c.seed;
+  out.num_stages = c.plan.num_stages();
   try {
     runtime::GraphBuilder builder(c.model, c.cluster, c.plan, c.options);
     const runtime::BuiltPipeline built = builder.Build();
@@ -342,6 +344,22 @@ FuzzOutcome RunFuzzCase(const FuzzCase& c) {
         {"exception", std::string("build/simulate threw: ") + e.what()});
   }
   return out;
+}
+
+std::vector<FuzzOutcome> RunFuzzSweep(const std::vector<std::uint64_t>& seeds,
+                                      int threads) {
+  sim::BatchRunner runner({.threads = threads});
+  return runner.Map<FuzzOutcome>(static_cast<int>(seeds.size()), [&](int i) {
+    return RunFuzzSeed(seeds[static_cast<std::size_t>(i)]);
+  });
+}
+
+std::vector<FaultFuzzOutcome> RunFaultFuzzSweep(const std::vector<std::uint64_t>& seeds,
+                                                int threads) {
+  sim::BatchRunner runner({.threads = threads});
+  return runner.Map<FaultFuzzOutcome>(static_cast<int>(seeds.size()), [&](int i) {
+    return RunFaultFuzzSeed(seeds[static_cast<std::size_t>(i)]);
+  });
 }
 
 }  // namespace dapple::check

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "check/validator.h"
 #include "fault/recovery.h"
@@ -68,6 +69,8 @@ struct FuzzOutcome {
   ValidationReport report;
 
   int num_tasks = 0;
+  /// Stage count of the case's plan (tolerance brackets differ by family).
+  int num_stages = 0;
   TimeSec simulated_makespan = 0.0;
 
   /// Analytic-vs-simulated bracket (checked for split-mode DAPPLE cases
@@ -135,5 +138,16 @@ FaultFuzzOutcome RunFaultFuzzCase(const FaultFuzzCase& c);
 inline FaultFuzzOutcome RunFaultFuzzSeed(std::uint64_t seed) {
   return RunFaultFuzzCase(MakeFaultFuzzCase(seed));
 }
+
+/// Runs every seed through RunFuzzSeed on a sim::BatchRunner with
+/// `threads` workers (1 = inline serial, 0 = hardware concurrency).
+/// Outcome i corresponds to seeds[i] and every byte of it is identical at
+/// every thread count — each case derives all its state from its seed.
+std::vector<FuzzOutcome> RunFuzzSweep(const std::vector<std::uint64_t>& seeds,
+                                      int threads = 1);
+
+/// Same driver for fault-recovery cases (RunFaultFuzzSeed).
+std::vector<FaultFuzzOutcome> RunFaultFuzzSweep(const std::vector<std::uint64_t>& seeds,
+                                                int threads = 1);
 
 }  // namespace dapple::check

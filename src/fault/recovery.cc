@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "sim/batch.h"
 #include "sim/engine.h"
 
 namespace dapple::fault {
@@ -316,6 +317,19 @@ FaultReport RunFaultExperiment(const model::ModelProfile& model, const topo::Clu
     report.time_to_recover = kInf;
   }
   return report;
+}
+
+std::vector<FaultReport> RunFaultPolicySweep(const model::ModelProfile& model,
+                                             const topo::Cluster& cluster,
+                                             const planner::ParallelPlan& plan,
+                                             const FaultScript& script,
+                                             const std::vector<RecoveryPolicy>& policies,
+                                             const FaultOptions& options, int sim_threads) {
+  sim::BatchRunner runner({.threads = sim_threads});
+  return runner.Map<FaultReport>(static_cast<int>(policies.size()), [&](int i) {
+    return RunFaultExperiment(model, cluster, plan, script,
+                              policies[static_cast<std::size_t>(i)], options);
+  });
 }
 
 }  // namespace dapple::fault

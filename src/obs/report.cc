@@ -9,6 +9,7 @@
 #include "common/table.h"
 #include "obs/json.h"
 #include "runtime/schedule.h"
+#include "sim/batch.h"
 
 namespace dapple::obs {
 
@@ -181,12 +182,7 @@ IterationReport BuildIterationReport(const runtime::BuiltPipeline& pipeline,
     pr.baseline = pool.baseline();
     pr.capacity = pool.capacity();
     pr.oom = pool.oom();
-    for (const sim::MemorySample& sample : pool.timeline()) {
-      if (sample.bytes == pool.peak()) {
-        pr.peak_time = sample.time;
-        break;
-      }
-    }
+    pr.peak_time = pool.peak_time();
     report.pools.push_back(pr);
   }
   return report;
@@ -383,24 +379,33 @@ std::vector<PeakVsMPoint> PeakVsMCurve(const model::ModelProfile& model,
                                        const topo::Cluster& cluster,
                                        const planner::ParallelPlan& plan,
                                        runtime::BuildOptions options,
-                                       const std::vector<int>& micro_batch_counts) {
+                                       const std::vector<int>& micro_batch_counts,
+                                       int sim_threads) {
   // Resolve the micro-batch size once so every point runs identical
   // per-micro-batch work and only M varies.
   const runtime::BuiltPipeline base =
       runtime::GraphBuilder(model, cluster, plan, options).Build();
   options.micro_batch_size = base.micro_batch_size;
 
-  std::vector<PeakVsMPoint> curve;
-  curve.reserve(micro_batch_counts.size());
+  std::vector<int> counts;
+  counts.reserve(micro_batch_counts.size());
   for (int m : micro_batch_counts) {
-    if (m < 1) continue;
-    options.global_batch_size = static_cast<long>(base.micro_batch_size) * m;
-    const runtime::BuiltPipeline built =
-        runtime::GraphBuilder(model, cluster, plan, options).Build();
-    const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
-    curve.push_back({built.num_micro_batches, result.MaxPeakMemory()});
+    if (m >= 1) counts.push_back(m);
   }
-  return curve;
+
+  // Each point builds and simulates an independent pipeline, so the curve
+  // fans out cleanly; slot-indexed results keep it byte-identical to the
+  // serial loop at every thread count.
+  sim::BatchRunner runner({.threads = sim_threads});
+  return runner.Map<PeakVsMPoint>(static_cast<int>(counts.size()), [&](int i) {
+    runtime::BuildOptions point_options = options;
+    point_options.global_batch_size =
+        static_cast<long>(base.micro_batch_size) * counts[static_cast<std::size_t>(i)];
+    const runtime::BuiltPipeline built =
+        runtime::GraphBuilder(model, cluster, plan, point_options).Build();
+    const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+    return PeakVsMPoint{built.num_micro_batches, result.MaxPeakMemory()};
+  });
 }
 
 }  // namespace dapple::obs

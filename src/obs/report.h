@@ -153,11 +153,14 @@ struct PeakVsMPoint {
 
 /// Re-builds and re-simulates the pipeline at several micro-batch counts
 /// (fixed micro-batch size) and records the worst device peak at each —
-/// flat for DAPPLE (O(K)), linear for GPipe (O(M)).
+/// flat for DAPPLE (O(K)), linear for GPipe (O(M)). `sim_threads` fans the
+/// points across a sim::BatchRunner (1 = serial, 0 = hardware concurrency);
+/// the curve is byte-identical at every thread count.
 std::vector<PeakVsMPoint> PeakVsMCurve(const model::ModelProfile& model,
                                        const topo::Cluster& cluster,
                                        const planner::ParallelPlan& plan,
                                        runtime::BuildOptions options,
-                                       const std::vector<int>& micro_batch_counts);
+                                       const std::vector<int>& micro_batch_counts,
+                                       int sim_threads = 1);
 
 }  // namespace dapple::obs

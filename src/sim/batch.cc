@@ -1,0 +1,50 @@
+#include "sim/batch.h"
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace dapple::sim {
+
+BatchRunner::BatchRunner(BatchOptions options) {
+  DAPPLE_CHECK_GE(options.threads, 0) << "negative thread count";
+  if (options.threads == 1) {
+    threads_ = 1;
+    return;
+  }
+  pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(options.threads));
+  threads_ = static_cast<int>(pool_->num_threads());
+}
+
+BatchRunner::~BatchRunner() = default;
+
+void BatchRunner::ForEach(int count, const std::function<void(int)>& body) {
+  if (count <= 0) return;
+  if (pool_ == nullptr || count == 1) {
+    for (int i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // ParallelFor rethrows whichever exception a worker captured first on the
+  // wall clock — nondeterministic. Capture per-index instead and rethrow
+  // the lowest one after the batch drains, matching the serial loop.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(count));
+  pool_->ParallelFor(static_cast<std::size_t>(count), [&](std::size_t i) {
+    try {
+      body(static_cast<int>(i));
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::vector<SimResult> BatchRunner::RunSimulations(const std::vector<SimJob>& jobs) {
+  return Map<SimResult>(static_cast<int>(jobs.size()), [&](int i) {
+    const SimJob& job = jobs[static_cast<std::size_t>(i)];
+    DAPPLE_CHECK(job.graph != nullptr) << "SimJob with null graph";
+    return Engine::Run(*job.graph, job.options);
+  });
+}
+
+}  // namespace dapple::sim

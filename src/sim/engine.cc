@@ -64,11 +64,233 @@ bool SimResult::AnyOom() const {
 
 namespace {
 
+/// Prepares the SimResult shell (records, usage slots, pools with
+/// capacities/baselines applied) shared by both engines.
+SimResult MakeResultShell(const TaskGraph& graph, const EngineOptions& options,
+                          int num_resources, int num_pools) {
+  SimResult result;
+  result.records.resize(static_cast<std::size_t>(graph.num_tasks()));
+  result.resources.resize(static_cast<std::size_t>(num_resources));
+  result.pools.reserve(static_cast<std::size_t>(num_pools));
+  for (int p = 0; p < num_pools; ++p) {
+    const Bytes cap = static_cast<std::size_t>(p) < options.pool_capacities.size()
+                          ? options.pool_capacities[static_cast<std::size_t>(p)]
+                          : 0;
+    result.pools.emplace_back(cap);
+    if (static_cast<std::size_t>(p) < options.pool_baselines.size()) {
+      result.pools.back().SetBaseline(options.pool_baselines[static_cast<std::size_t>(p)]);
+    }
+  }
+  return result;
+}
+
+int NumPools(const TaskGraph& graph, const EngineOptions& options) {
+  return std::max(graph.num_pools(),
+                  static_cast<int>(std::max(options.pool_capacities.size(),
+                                            options.pool_baselines.size())));
+}
+
+/// Validates speed profiles and maps them onto resources (nullptr = fixed
+/// unit speed, the exact legacy arithmetic: rec.end = now + duration and
+/// busy += duration).
+void IndexProfiles(const EngineOptions& options, int num_resources,
+                   std::vector<const ResourceSpeedProfile*>& profile_of) {
+  for (const ResourceSpeedProfile& p : options.resource_speeds) {
+    DAPPLE_CHECK(p.resource >= 0 && p.resource < num_resources)
+        << "speed profile for unknown resource " << p.resource;
+    for (std::size_t s = 0; s < p.segments.size(); ++s) {
+      DAPPLE_CHECK(p.segments[s].speed >= 0.0) << "negative resource speed";
+      if (s > 0) {
+        DAPPLE_CHECK_GT(p.segments[s].start, p.segments[s - 1].start)
+            << "speed segments must be sorted by start";
+      }
+    }
+    if (!p.segments.empty()) profile_of[static_cast<std::size_t>(p.resource)] = &p;
+  }
+}
+
+[[noreturn]] void ThrowDeadlock(const TaskGraph& graph, const SimResult& result,
+                                int executed) {
+  std::ostringstream os;
+  os << "task graph deadlock: executed " << executed << " of "
+     << graph.num_tasks() << " tasks; first blocked:";
+  int listed = 0;
+  for (TaskId t = 0; t < graph.num_tasks() && listed < 5; ++t) {
+    if (!result.records[static_cast<std::size_t>(t)].executed) {
+      os << " '" << graph.task(t).name << "'";
+      ++listed;
+    }
+  }
+  throw Error(os.str());
+}
+
+}  // namespace
+
+// --- Engine (arena + indexed binary heaps) ---------------------------------
+
+SimResult Engine::Simulate(const TaskGraph& graph, const EngineOptions& options) {
+  // std::push_heap/pop_heap build max-heaps, so both comparators are the
+  // *reverse* of the dispatch order: the lowest key surfaces at front().
+  auto ready_later = [](const Event& a, const Event& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.task > b.task;
+  };
+  // Completion drain order, reversed: (time, priority, id) ascending on top.
+  auto completion_later = [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.task > b.task;
+  };
+
+  const int n = graph.num_tasks();
+  const int num_resources = std::max(graph.num_resources(), 1);
+  const int num_pools = NumPools(graph, options);
+
+  SimResult result = MakeResultShell(graph, options, num_resources, num_pools);
+
+  // Re-arm the arena. assign()/clear() keep each vector's capacity, so after
+  // the first run of a given shape the event loop allocates nothing.
+  pending_.assign(static_cast<std::size_t>(n), 0);
+  for (TaskId t = 0; t < n; ++t) pending_[static_cast<std::size_t>(t)] = graph.in_degree(t);
+  profile_of_.assign(static_cast<std::size_t>(num_resources), nullptr);
+  IndexProfiles(options, num_resources, profile_of_);
+  if (ready_.size() < static_cast<std::size_t>(num_resources)) {
+    ready_.resize(static_cast<std::size_t>(num_resources));
+  }
+  for (int r = 0; r < num_resources; ++r) ready_[static_cast<std::size_t>(r)].clear();
+  running_.assign(static_cast<std::size_t>(num_resources), kInvalidTask);
+  completions_.clear();
+  wake_.clear();
+
+  int executed = 0;
+  TimeSec now = 0.0;
+
+  auto start_task = [&](TaskId id) {
+    const Task& task = graph.task(id);
+    running_[static_cast<std::size_t>(task.resource)] = id;
+    auto& rec = result.records[static_cast<std::size_t>(id)];
+    rec.id = id;
+    rec.start = now;
+    rec.started = true;
+    const ResourceSpeedProfile* profile =
+        profile_of_[static_cast<std::size_t>(task.resource)];
+    rec.end = profile ? FinishTime(*profile, now, task.duration) : now + task.duration;
+    if (task.pool >= 0 && task.alloc_at_start > 0) {
+      result.pools[static_cast<std::size_t>(task.pool)].Allocate(now, task.alloc_at_start);
+    }
+    if (rec.end == std::numeric_limits<TimeSec>::infinity()) {
+      // Pinned by a permanent zero-speed window: the resource stays
+      // occupied, the task never completes, and its record stays
+      // executed = false.
+      return;
+    }
+    rec.executed = true;
+    completions_.push_back({rec.end, task.priority, id});
+    std::push_heap(completions_.begin(), completions_.end(), completion_later);
+  };
+
+  auto dispatch_resource = [&](ResourceId r) {
+    auto& queue = ready_[static_cast<std::size_t>(r)];
+    if (running_[static_cast<std::size_t>(r)] != kInvalidTask || queue.empty()) return;
+    std::pop_heap(queue.begin(), queue.end(), ready_later);
+    const TaskId next = queue.back().task;
+    queue.pop_back();
+    start_task(next);
+  };
+
+  auto enqueue_ready = [&](TaskId id) {
+    const Task& task = graph.task(id);
+    auto& queue = ready_[static_cast<std::size_t>(task.resource)];
+    queue.push_back({0.0, task.priority, id});
+    std::push_heap(queue.begin(), queue.end(), ready_later);
+  };
+
+  // Seed with all zero-indegree tasks.
+  for (TaskId t = 0; t < n; ++t) {
+    if (pending_[static_cast<std::size_t>(t)] == 0) enqueue_ready(t);
+  }
+  for (ResourceId r = 0; r < num_resources; ++r) dispatch_resource(r);
+
+  while (!completions_.empty()) {
+    std::pop_heap(completions_.begin(), completions_.end(), completion_later);
+    const Event done = completions_.back();
+    completions_.pop_back();
+    now = done.time;
+    const Task& task = graph.task(done.task);
+
+    ++executed;
+    auto& usage = result.resources[static_cast<std::size_t>(task.resource)];
+    if (usage.tasks_executed == 0) {
+      usage.first_start = result.records[static_cast<std::size_t>(done.task)].start;
+    }
+    // With a speed profile the wall-clock occupancy differs from the work;
+    // without one, use the duration directly to keep legacy runs bit-exact.
+    const TimeSec elapsed =
+        profile_of_[static_cast<std::size_t>(task.resource)] != nullptr
+            ? done.time - result.records[static_cast<std::size_t>(done.task)].start
+            : task.duration;
+    usage.busy += elapsed;
+    if (IsComputeKind(task.kind)) usage.compute_busy += elapsed;
+    usage.last_end = now;
+    usage.tasks_executed++;
+    result.makespan = std::max(result.makespan, now);
+
+    if (task.pool >= 0 && task.free_at_end > 0) {
+      result.pools[static_cast<std::size_t>(task.pool)].Free(now, task.free_at_end);
+    }
+
+    running_[static_cast<std::size_t>(task.resource)] = kInvalidTask;
+
+    // Only the freed resource and resources whose ready queue gained a task
+    // can start something; dispatching is idempotent, so duplicates in the
+    // wake list are harmless. Dispatching exactly those keeps the loop
+    // O(successors) per event instead of O(num_resources).
+    wake_.clear();
+    wake_.push_back(task.resource);
+    for (TaskId succ : graph.successors(done.task)) {
+      if (--pending_[static_cast<std::size_t>(succ)] == 0) {
+        enqueue_ready(succ);
+        wake_.push_back(graph.task(succ).resource);
+      }
+    }
+    for (ResourceId r : wake_) dispatch_resource(r);
+  }
+
+  if (executed != n) {
+    if (options.allow_incomplete) {
+      result.completed = false;
+      result.tasks_unfinished = n - executed;
+      // Pinned tasks hold unreleased allocations; leave the pools as they
+      // are — the partial state is what a fault-aborted iteration looks
+      // like, and callers discard it anyway.
+    } else {
+      ThrowDeadlock(graph, result, executed);
+    }
+  }
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.counter("sim.runs").Increment();
+  metrics.counter("sim.tasks_executed").Increment(executed);
+  metrics.histogram("sim.makespan").Observe(result.makespan);
+  return result;
+}
+
+SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
+  thread_local Engine engine;
+  return engine.Simulate(graph, options);
+}
+
+// --- Reference engine (legacy containers, same ordering contract) ----------
+
+namespace {
+
 struct Completion {
   TimeSec time;
+  int priority;
   TaskId task;
   bool operator>(const Completion& other) const {
     if (time != other.time) return time > other.time;
+    if (priority != other.priority) return priority > other.priority;
     return task > other.task;
   }
 };
@@ -86,46 +308,19 @@ struct ReadyOrder {
 
 }  // namespace
 
-SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
+SimResult RunReferenceEngine(const TaskGraph& graph, const EngineOptions& options) {
   const int n = graph.num_tasks();
   const int num_resources = std::max(graph.num_resources(), 1);
-  const int num_pools = std::max(
-      graph.num_pools(), static_cast<int>(std::max(options.pool_capacities.size(),
-                                                   options.pool_baselines.size())));
+  const int num_pools = NumPools(graph, options);
 
-  SimResult result;
-  result.records.resize(static_cast<std::size_t>(n));
-  result.resources.resize(static_cast<std::size_t>(num_resources));
-  result.pools.reserve(static_cast<std::size_t>(num_pools));
-  for (int p = 0; p < num_pools; ++p) {
-    const Bytes cap = static_cast<std::size_t>(p) < options.pool_capacities.size()
-                          ? options.pool_capacities[static_cast<std::size_t>(p)]
-                          : 0;
-    result.pools.emplace_back(cap);
-    if (static_cast<std::size_t>(p) < options.pool_baselines.size()) {
-      result.pools.back().SetBaseline(options.pool_baselines[static_cast<std::size_t>(p)]);
-    }
-  }
+  SimResult result = MakeResultShell(graph, options, num_resources, num_pools);
 
   std::vector<int> pending(static_cast<std::size_t>(n));
   for (TaskId t = 0; t < n; ++t) pending[static_cast<std::size_t>(t)] = graph.in_degree(t);
 
-  // Per-resource speed profiles (nullptr = fixed unit speed, the exact
-  // legacy arithmetic: rec.end = now + duration and busy += duration).
   std::vector<const ResourceSpeedProfile*> profile_of(
       static_cast<std::size_t>(num_resources), nullptr);
-  for (const ResourceSpeedProfile& p : options.resource_speeds) {
-    DAPPLE_CHECK(p.resource >= 0 && p.resource < num_resources)
-        << "speed profile for unknown resource " << p.resource;
-    for (std::size_t s = 0; s < p.segments.size(); ++s) {
-      DAPPLE_CHECK(p.segments[s].speed >= 0.0) << "negative resource speed";
-      if (s > 0) {
-        DAPPLE_CHECK_GT(p.segments[s].start, p.segments[s - 1].start)
-            << "speed segments must be sorted by start";
-      }
-    }
-    if (!p.segments.empty()) profile_of[static_cast<std::size_t>(p.resource)] = &p;
-  }
+  IndexProfiles(options, num_resources, profile_of);
 
   // Per-resource ready sets and busy flags.
   std::vector<std::set<TaskId, ReadyOrder>> ready(
@@ -153,13 +348,10 @@ SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
       result.pools[static_cast<std::size_t>(task.pool)].Allocate(now, task.alloc_at_start);
     }
     if (rec.end == std::numeric_limits<TimeSec>::infinity()) {
-      // Pinned by a permanent zero-speed window: the resource stays
-      // occupied, the task never completes, and its record stays
-      // executed = false.
-      return;
+      return;  // pinned forever; resource stays occupied
     }
     rec.executed = true;
-    completions.push({rec.end, id});
+    completions.push({rec.end, task.priority, id});
   };
 
   auto dispatch_resource = [&](ResourceId r) {
@@ -170,7 +362,6 @@ SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
     start_task(next);
   };
 
-  // Seed with all zero-indegree tasks.
   for (TaskId t = 0; t < n; ++t) {
     if (pending[static_cast<std::size_t>(t)] == 0) {
       ready[static_cast<std::size_t>(graph.task(t).resource)].insert(t);
@@ -189,8 +380,6 @@ SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
     if (usage.tasks_executed == 0) {
       usage.first_start = result.records[static_cast<std::size_t>(done.task)].start;
     }
-    // With a speed profile the wall-clock occupancy differs from the work;
-    // without one, use the duration directly to keep legacy runs bit-exact.
     const TimeSec elapsed =
         profile_of[static_cast<std::size_t>(task.resource)] != nullptr
             ? done.time - result.records[static_cast<std::size_t>(done.task)].start
@@ -207,10 +396,6 @@ SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
 
     running[static_cast<std::size_t>(task.resource)] = kInvalidTask;
 
-    // Only the freed resource and resources whose ready set gained a task
-    // can start something; dispatching is idempotent, so duplicates in the
-    // wake list are harmless. Dispatching exactly those keeps the loop
-    // O(successors) per event instead of O(num_resources).
     wake.clear();
     wake.push_back(task.resource);
     for (TaskId succ : graph.successors(done.task)) {
@@ -227,28 +412,14 @@ SimResult Engine::Run(const TaskGraph& graph, EngineOptions options) {
     if (options.allow_incomplete) {
       result.completed = false;
       result.tasks_unfinished = n - executed;
-      // Pinned tasks hold unreleased allocations; leave the pools as they
-      // are — the partial state is what a fault-aborted iteration looks
-      // like, and callers discard it anyway.
     } else {
-      std::ostringstream os;
-      os << "task graph deadlock: executed " << executed << " of " << n
-         << " tasks; first blocked:";
-      int listed = 0;
-      for (TaskId t = 0; t < n && listed < 5; ++t) {
-        if (!result.records[static_cast<std::size_t>(t)].executed) {
-          os << " '" << graph.task(t).name << "'";
-          ++listed;
-        }
-      }
-      throw Error(os.str());
+      ThrowDeadlock(graph, result, executed);
     }
   }
 
-  auto& metrics = obs::MetricsRegistry::Global();
-  metrics.counter("sim.runs").Increment();
-  metrics.counter("sim.tasks_executed").Increment(executed);
-  metrics.histogram("sim.makespan").Observe(result.makespan);
+  // Deliberately not sim.runs: the oracle only backs differential checks,
+  // and global run counts should reflect real simulations.
+  obs::MetricsRegistry::Global().counter("sim.reference_runs").Increment();
   return result;
 }
 

@@ -4,8 +4,18 @@
 //  - a task becomes ready when all its predecessors have completed;
 //  - each resource runs at most one task at a time;
 //  - among ready tasks queued on one resource, the engine picks the lowest
-//    (priority, id) pair, making every simulation exactly reproducible;
+//    (priority, id) pair;
+//  - simultaneous completions drain in (time, priority, id) order — the
+//    completing task's priority, then its id as the final key. The key is
+//    part of the engine's contract (pinned by sim_engine_test and the
+//    determinism sweep), not an artifact of container iteration order:
+//    which completion is processed first decides which successors reach
+//    their resource's ready queue before the next dispatch.
 //  - task memory effects are applied to per-device pools at start/end.
+//
+// Together the two explicit keys make every simulation exactly
+// reproducible — byte-identical traces, reports and memory high-water
+// marks on every host and at every sim::BatchRunner thread count.
 //
 // This is the substitute for the paper's GPU testbed: schedule shape,
 // bubbles, overlap and peak memory all emerge from the same dependency
@@ -106,11 +116,52 @@ struct EngineOptions {
   bool allow_incomplete = false;
 };
 
+/// Discrete-event engine with a per-instance arena: the ready queues (one
+/// indexed binary min-heap per resource, keyed (priority, id)), the
+/// completion heap (keyed (time, priority, id)) and every bookkeeping
+/// vector are owned by the Engine and reused across Simulate() calls, so a
+/// run performs no per-event heap allocation after the first simulation of
+/// a given shape warms the arena. (The returned SimResult still allocates
+/// its records/pools — per run, not per event.)
 class Engine {
  public:
-  /// Runs the graph to completion. Throws dapple::Error on dependency
-  /// cycles (some tasks can never become ready).
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs the graph to completion on this engine's arena. Throws
+  /// dapple::Error on dependency cycles (some tasks can never become
+  /// ready).
+  SimResult Simulate(const TaskGraph& graph, const EngineOptions& options = {});
+
+  /// Convenience entry point: simulates on a thread-local Engine, so every
+  /// thread — each sim::BatchRunner worker in particular — keeps its own
+  /// warmed arena and concurrent runs never share mutable state.
   static SimResult Run(const TaskGraph& graph, EngineOptions options = {});
+
+ private:
+  /// Heap entry for both queues; `time` is unused (0) in ready heaps.
+  struct Event {
+    TimeSec time = 0.0;
+    int priority = 0;
+    TaskId task = kInvalidTask;
+  };
+
+  // Arena, reused across Simulate() calls. Inner ready heaps are cleared,
+  // never deallocated, so steady-state runs reuse their capacity.
+  std::vector<int> pending_;
+  std::vector<const ResourceSpeedProfile*> profile_of_;
+  std::vector<std::vector<Event>> ready_;  // binary min-heap per resource
+  std::vector<TaskId> running_;
+  std::vector<Event> completions_;  // binary min-heap
+  std::vector<ResourceId> wake_;
 };
+
+/// The pre-arena engine (ordered-set ready queues, std::priority_queue
+/// completion events), kept as the differential oracle: the determinism
+/// sweep and bench_sim_engine run it against Engine and require
+/// byte-identical results. Same (time, priority, id) completion contract;
+/// allocation-heavy, so use Engine everywhere else.
+SimResult RunReferenceEngine(const TaskGraph& graph, const EngineOptions& options = {});
 
 }  // namespace dapple::sim

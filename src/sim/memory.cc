@@ -21,7 +21,10 @@ void MemoryPool::SetBaseline(Bytes bytes) {
 void MemoryPool::Allocate(TimeSec now, Bytes bytes) {
   if (bytes == 0) return;
   current_ += bytes;
-  peak_ = std::max(peak_, current_);
+  if (current_ > peak_) {
+    peak_ = current_;
+    peak_time_ = now;
+  }
   Record(now);
 }
 

@@ -33,6 +33,12 @@ class MemoryPool {
   Bytes baseline() const { return baseline_; }
   Bytes current() const { return current_; }
   Bytes peak() const { return peak_; }
+  /// First simulated instant the peak was resident. Tracked incrementally —
+  /// O(1) per alloc/free — so reports never rescan the timeline. The instant
+  /// counts even when the bytes are freed at the same timestamp (a transient
+  /// spike coalesced away in timeline()): the high-water mark is about what
+  /// the device must physically hold, however briefly.
+  TimeSec peak_time() const { return peak_time_; }
   Bytes capacity() const { return capacity_; }
 
   /// True iff the peak ever exceeded a nonzero capacity.
@@ -49,6 +55,7 @@ class MemoryPool {
   Bytes baseline_ = 0;
   Bytes current_ = 0;
   Bytes peak_ = 0;
+  TimeSec peak_time_ = 0.0;
   std::vector<MemorySample> timeline_;
 };
 

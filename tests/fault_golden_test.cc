@@ -22,6 +22,7 @@
 #include "fault/report.h"
 #include "fault/script.h"
 #include "model/zoo.h"
+#include "planner/dp_planner.h"
 #include "planner/plan.h"
 #include "topo/cluster.h"
 #include "topo/device_set.h"
@@ -88,6 +89,49 @@ TEST(FaultGoldenTest, ReplanScenarioReportMatchesGolden) {
 TEST(FaultGoldenTest, ReplanScenarioTraceMatchesGolden) {
   CompareAgainstGolden(ToChromeTrace(RunReplanScenario()),
                        GoldenPath("fault_trace_replan.json"));
+}
+
+/// The paper-scale recovery scenario: GNMT-16 on Config-A (2 servers x 8
+/// GPUs), planner-chosen initial plan, a fail-stop crash on server 1 and an
+/// elastic replan onto the survivor. The full timeline trace rides on the
+/// simulation engine end to end — iteration makespans, fault re-costing and
+/// the replanned schedule all feed it — so any drift in event ordering or
+/// the arena engine's arithmetic lands here as a byte diff.
+FaultReport RunGnmtCrashScenario() {
+  const model::ModelProfile m = model::MakeGnmt16();
+  const topo::Cluster cluster = topo::MakeConfigA(2);
+
+  planner::PlannerOptions planner_options;
+  planner_options.global_batch_size = 64;
+  planner_options.keep_alternatives = 0;
+  const planner::ParallelPlan plan =
+      planner::DapplePlanner(m, cluster, planner_options).Plan().plan;
+
+  // device 12 lives on server 1; its crash drains the whole server.
+  const FaultScript script = ParseFaultScript("crash device=12 at=1\n");
+
+  FaultOptions options;
+  options.build.global_batch_size = 64;
+  options.planner.keep_alternatives = 0;
+  // GNMT-16 iterations are ~160 ms here; exact-representable horizon and
+  // control-plane costs sized so the job crashes mid-run, replans once and
+  // recovers well inside the horizon.
+  options.horizon = 5.0;
+  options.detect_latency = 0.25;
+  options.replan_cost = 0.5;
+  return RunFaultExperiment(m, cluster, plan, script, RecoveryPolicy::kElasticReplan,
+                            options);
+}
+
+TEST(FaultGoldenTest, GnmtCrashReplanTraceMatchesGolden) {
+  const FaultReport report = RunGnmtCrashScenario();
+  // Sanity before byte-comparison: the scenario must actually exercise the
+  // crash-and-replan path, or the golden pins a trivial timeline.
+  EXPECT_EQ(report.replans, 1);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_GT(report.iterations_completed, 5);
+  CompareAgainstGolden(ToChromeTrace(report),
+                       GoldenPath("fault_trace_gnmt_crash.json"));
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "common/error.h"
 #include "sim/engine.h"
 #include "sim/graph.h"
@@ -76,6 +78,85 @@ TEST(Engine, EqualPriorityFallsBackToId) {
   const TaskId b = g.AddTask(MakeTask("b", 0, 1.0));
   const SimResult r = Engine::Run(g);
   EXPECT_LT(r.records[a].start, r.records[b].start);
+}
+
+// Simultaneous completions drain in (time, priority, id) order — the
+// documented contract from engine.h, not container luck. A (id 0, priority
+// 5) and B (id 1, priority 0) both finish at t=1; their successors X and Y
+// contend for resource 2, so whichever completion is processed first gets
+// its successor dispatched first. The priority key must beat the id key:
+// B's completion wins, Y runs at t=1 and X at t=2. Under the legacy
+// (time, id) ordering the outcome was inverted.
+TEST(Engine, SimultaneousCompletionsDrainByPriorityThenId) {
+  auto build = [] {
+    TaskGraph g;
+    Task a = MakeTask("a", 0, 1.0);
+    a.priority = 5;
+    const TaskId a_id = g.AddTask(a);
+    Task b = MakeTask("b", 1, 1.0);
+    b.priority = 0;
+    const TaskId b_id = g.AddTask(b);
+    const TaskId x = g.AddTask(MakeTask("x", 2, 1.0));
+    const TaskId y = g.AddTask(MakeTask("y", 2, 1.0));
+    g.AddEdge(a_id, x);
+    g.AddEdge(b_id, y);
+    return std::make_tuple(std::move(g), x, y);
+  };
+  auto [g, x, y] = build();
+  const SimResult r = Engine::Run(g);
+  EXPECT_DOUBLE_EQ(r.records[y].start, 1.0);
+  EXPECT_DOUBLE_EQ(r.records[x].start, 2.0);
+
+  auto [g2, x2, y2] = build();
+  const SimResult ref = RunReferenceEngine(g2);
+  EXPECT_DOUBLE_EQ(ref.records[y2].start, 1.0);
+  EXPECT_DOUBLE_EQ(ref.records[x2].start, 2.0);
+}
+
+// Equal (time, priority) falls through to the id key on both engines.
+TEST(Engine, SimultaneousEqualPriorityCompletionsDrainById) {
+  auto build = [] {
+    TaskGraph g;
+    const TaskId a = g.AddTask(MakeTask("a", 0, 1.0));
+    const TaskId b = g.AddTask(MakeTask("b", 1, 1.0));
+    const TaskId x = g.AddTask(MakeTask("x", 2, 1.0));
+    const TaskId y = g.AddTask(MakeTask("y", 2, 1.0));
+    g.AddEdge(a, x);
+    g.AddEdge(b, y);
+    return std::make_tuple(std::move(g), x, y);
+  };
+  auto [g, x, y] = build();
+  const SimResult r = Engine::Run(g);
+  EXPECT_DOUBLE_EQ(r.records[x].start, 1.0);
+  EXPECT_DOUBLE_EQ(r.records[y].start, 2.0);
+
+  auto [g2, x2, y2] = build();
+  const SimResult ref = RunReferenceEngine(g2);
+  EXPECT_DOUBLE_EQ(ref.records[x2].start, 1.0);
+  EXPECT_DOUBLE_EQ(ref.records[y2].start, 2.0);
+}
+
+// The arena is reused across Simulate() calls on one Engine instance;
+// back-to-back runs of different shapes must not leak state between runs.
+TEST(Engine, ArenaReuseAcrossShapes) {
+  Engine engine;
+  TaskGraph small;
+  small.AddTask(MakeTask("s", 0, 1.0));
+  TaskGraph big;
+  for (int i = 0; i < 40; ++i) {
+    big.AddTask(MakeTask("t" + std::to_string(i), i % 3, 0.25 + (i % 5) * 0.5));
+  }
+  for (int i = 0; i + 7 < 40; i += 2) big.AddEdge(i, i + 7);
+
+  const SimResult big_first = engine.Simulate(big);
+  const SimResult small_between = engine.Simulate(small);
+  const SimResult big_again = engine.Simulate(big);
+  EXPECT_DOUBLE_EQ(small_between.makespan, 1.0);
+  ASSERT_EQ(big_first.records.size(), big_again.records.size());
+  for (std::size_t i = 0; i < big_first.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(big_first.records[i].start, big_again.records[i].start);
+    EXPECT_DOUBLE_EQ(big_first.records[i].end, big_again.records[i].end);
+  }
 }
 
 TEST(Engine, DeadlockDetected) {

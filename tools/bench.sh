@@ -26,6 +26,7 @@ benches=(
   bench_table7_strategies
   bench_fault_recovery
   bench_planner_scale
+  bench_sim_engine
 )
 
 echo "=== configure ${build}"

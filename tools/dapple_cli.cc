@@ -21,9 +21,11 @@
 //              [--plan FILE] [--policy stall|checkpoint|replan|all]
 //              [--script FILE] [--script-text "..."] [--seed N]
 //              [--horizon T] [--checkpoint-period N]
-//              [--json FILE] [--trace FILE.json]
+//              [--json FILE] [--trace FILE.json] [--sim-threads N]
 //       Inject a fault script (from a file, inline text, or a seeded random
-//       generator) and measure what each recovery policy salvages.
+//       generator) and measure what each recovery policy salvages. The
+//       per-policy experiments are independent, so --sim-threads fans them
+//       across a worker pool with byte-identical reports at every N.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,13 +54,16 @@ int Usage() {
                "  dapple report <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
                "              [--schedule dapple|gpipe] [--recompute]\n"
                "              [--json FILE] [--peak-vs-m M1,M2,...]\n"
+               "              [--sim-threads N]\n"
                "  dapple report --fig3 [--json FILE]\n"
                "  dapple faults <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
                "              [--policy stall|checkpoint|replan|all]\n"
                "              [--script FILE] [--script-text \"...\"] [--seed N]\n"
                "              [--horizon T] [--checkpoint-period N]\n"
                "              [--json FILE] [--trace FILE.json]\n"
-               "              [--planner-threads N]\n");
+               "              [--planner-threads N] [--sim-threads N]\n"
+               "              (--sim-threads fans independent simulations over a\n"
+               "               worker pool; output is identical at every N)\n");
   return 2;
 }
 
@@ -247,6 +252,7 @@ int CmdReport(int argc, char** argv) {
 
   std::string plan_path;
   std::vector<int> curve_counts;
+  int sim_threads = 1;
   runtime::BuildOptions options;
   options.global_batch_size = gbs;
   for (int i = 4; i < argc; ++i) {
@@ -266,6 +272,8 @@ int CmdReport(int argc, char** argv) {
         while (*p && *p != ',') ++p;
         if (*p == ',') ++p;
       }
+    } else if (std::strcmp(argv[i], "--sim-threads") == 0 && i + 1 < argc) {
+      sim_threads = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage();
@@ -288,7 +296,8 @@ int CmdReport(int argc, char** argv) {
   std::printf("%s", obs::ToText(report).c_str());
 
   if (!curve_counts.empty()) {
-    const auto curve = obs::PeakVsMCurve(m, cluster, plan, options, curve_counts);
+    const auto curve =
+        obs::PeakVsMCurve(m, cluster, plan, options, curve_counts, sim_threads);
     AsciiTable t({"M", "Max peak memory"});
     for (const obs::PeakVsMPoint& p : curve) {
       t.AddRow({AsciiTable::Int(p.num_micro_batches), FormatBytes(p.max_peak_memory)});
@@ -320,6 +329,7 @@ int CmdFaults(int argc, char** argv) {
   std::string plan_path, json_path, trace_path, script_path, script_text, policy_arg = "all";
   bool seeded = false;
   std::uint64_t seed = 0;
+  int sim_threads = 1;
   fault::FaultOptions options;
   options.build.global_batch_size = gbs;
   for (int i = 4; i < argc; ++i) {
@@ -344,6 +354,8 @@ int CmdFaults(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--planner-threads") == 0 && i + 1 < argc) {
       options.planner.num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sim-threads") == 0 && i + 1 < argc) {
+      sim_threads = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage();
@@ -383,10 +395,8 @@ int CmdFaults(int argc, char** argv) {
     policies = {fault::ParseRecoveryPolicy(policy_arg)};
   }
 
-  std::vector<fault::FaultReport> reports;
-  for (fault::RecoveryPolicy policy : policies) {
-    reports.push_back(fault::RunFaultExperiment(m, cluster, plan, script, policy, options));
-  }
+  const std::vector<fault::FaultReport> reports =
+      fault::RunFaultPolicySweep(m, cluster, plan, script, policies, options, sim_threads);
 
   if (reports.size() == 1) {
     std::printf("%s", fault::ToText(reports[0]).c_str());

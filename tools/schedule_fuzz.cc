@@ -1,8 +1,10 @@
 // dapple_fuzz — randomized differential tester for the schedule stack.
 //
-//   dapple_fuzz [--iterations N] [--seed BASE] [--verbose]
+//   dapple_fuzz [--iterations N] [--seed BASE] [--verbose] [--threads N]
 //       Run N seeded cases (default 200) starting at BASE (default 0);
-//       print a summary and exit non-zero on the first failure.
+//       print a summary and exit non-zero on the first failure (lowest
+//       failing seed). --threads fans cases across a sim::BatchRunner;
+//       every summary line and failure report is identical at any N.
 //   dapple_fuzz --repro SEED
 //       Re-run one failing seed with its full case description.
 //   dapple_fuzz --faults [--iterations N] [--seed BASE] [--verbose]
@@ -19,6 +21,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "check/fuzz.h"
 
@@ -30,8 +33,17 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  dapple_fuzz [--faults] [--iterations N] [--seed BASE] [--verbose]\n"
+               "              [--threads N]  (0 = hardware concurrency; results\n"
+               "               are identical at every N)\n"
                "  dapple_fuzz [--faults] --repro SEED\n");
   return 2;
+}
+
+std::vector<std::uint64_t> SeedRange(std::uint64_t base, long iterations) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(iterations));
+  for (long i = 0; i < iterations; ++i) seeds.push_back(base + static_cast<std::uint64_t>(i));
+  return seeds;
 }
 
 int ReproFaults(std::uint64_t seed) {
@@ -47,15 +59,21 @@ int ReproFaults(std::uint64_t seed) {
   return 0;
 }
 
-int RunFaultSweep(std::uint64_t base, long iterations, bool verbose) {
+int RunFaultSweep(std::uint64_t base, long iterations, bool verbose, int threads) {
+  const std::vector<std::uint64_t> seeds = SeedRange(base, iterations);
+  if (verbose) {
+    for (std::uint64_t seed : seeds) {
+      std::printf("%s\n", check::MakeFaultFuzzCase(seed).Describe().c_str());
+    }
+  }
+  const std::vector<check::FaultFuzzOutcome> outcomes =
+      check::RunFaultFuzzSweep(seeds, threads);
   long pipelines = 0, replans = 0, restores = 0;
-  for (long i = 0; i < iterations; ++i) {
-    const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
-    const check::FaultFuzzCase c = check::MakeFaultFuzzCase(seed);
-    if (verbose) std::printf("%s\n", c.Describe().c_str());
-    const check::FaultFuzzOutcome out = check::RunFaultFuzzCase(c);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const check::FaultFuzzOutcome& out = outcomes[i];
     if (!out.ok()) {
-      std::fprintf(stderr, "%s  case: %s\n", out.Summary().c_str(), c.Describe().c_str());
+      std::fprintf(stderr, "%s  case: %s\n", out.Summary().c_str(),
+                   check::MakeFaultFuzzCase(seeds[i]).Describe().c_str());
       return 1;
     }
     pipelines += out.pipelines_validated;
@@ -95,6 +113,7 @@ int main(int argc, char** argv) {
   long iterations = 200;
   bool verbose = false;
   bool faults = false;
+  int threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) {
       faults = true;
@@ -111,33 +130,43 @@ int main(int argc, char** argv) {
       base = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
     } else {
       return Usage();
     }
   }
-  if (iterations <= 0) return Usage();
-  if (faults) return RunFaultSweep(base, iterations, verbose);
+  if (iterations <= 0 || threads < 0) return Usage();
+  if (faults) return RunFaultSweep(base, iterations, verbose, threads);
 
   // Tolerance calibration: track the worst observed analytic/sim ratio per
   // plan family (the constants in check/fuzz.h are pinned from sweeps of
   // this tool) and the worst sim/analytic ratio.
+  const std::vector<std::uint64_t> seeds = SeedRange(base, iterations);
+  if (verbose) {
+    for (std::uint64_t seed : seeds) {
+      std::printf("%s\n", check::MakeFuzzCase(seed).Describe().c_str());
+    }
+  }
+  const std::vector<check::FuzzOutcome> outcomes = check::RunFuzzSweep(seeds, threads);
   long latency_checked = 0, peak_checked = 0;
   double max_over_single = 0.0, max_over_multi = 0.0, max_under = 0.0;
   std::uint64_t worst_multi_seed = 0;
-  for (long i = 0; i < iterations; ++i) {
-    const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
-    const check::FuzzCase c = check::MakeFuzzCase(seed);
-    if (verbose) std::printf("%s\n", c.Describe().c_str());
-    const check::FuzzOutcome out = check::RunFuzzCase(c);
+  // Aggregation runs over the slot-indexed outcomes in seed order, so the
+  // calibration stats never depend on worker scheduling.
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const std::uint64_t seed = seeds[i];
+    const check::FuzzOutcome& out = outcomes[i];
     if (!out.ok()) {
-      std::fprintf(stderr, "%s  case: %s\n", out.Summary().c_str(), c.Describe().c_str());
+      std::fprintf(stderr, "%s  case: %s\n", out.Summary().c_str(),
+                   check::MakeFuzzCase(seed).Describe().c_str());
       return 1;
     }
     latency_checked += out.checked_latency ? 1 : 0;
     peak_checked += out.checked_peak ? 1 : 0;
     if (out.checked_latency && out.simulated_makespan > 0.0 && out.analytic_latency > 0.0) {
       const double over = out.analytic_latency / out.simulated_makespan;
-      if (c.plan.num_stages() == 1) {
+      if (out.num_stages == 1) {
         max_over_single = std::max(max_over_single, over);
       } else if (over > max_over_multi) {
         max_over_multi = over;
