@@ -110,8 +110,17 @@ FuzzCase MakeFuzzCase(std::uint64_t seed) {
   runtime::BuildOptions options;
   options.global_batch_size =
       rng.UniformInt(1, 6) * 4 * model.profile_micro_batch();
-  options.schedule.kind = rng.Bernoulli(0.5) ? runtime::ScheduleKind::kDapple
-                                             : runtime::ScheduleKind::kGPipe;
+  // The kind draw lives on its own salted side-stream (same rationale as
+  // the fault-script stream below): when the schedule space grew past two
+  // kinds, replacing this draw in the main stream would have shifted every
+  // later model/cluster/plan draw and silently rewritten the pinned
+  // regression seeds. The legacy Bernoulli is still consumed so the main
+  // stream stays bit-identical to the two-kind era.
+  (void)rng.Bernoulli(0.5);
+  Rng kind_rng(seed * 0x9e3779b97f4a7c15ull + 0xa0761d6478bd642full);
+  const auto& kinds = runtime::AllScheduleKinds();
+  options.schedule.kind = kinds[static_cast<std::size_t>(
+      kind_rng.UniformInt(0, static_cast<std::int64_t>(kinds.size()) - 1))];
   options.schedule.warmup = rng.Bernoulli(0.5) ? runtime::WarmupPolicy::kPA
                                                : runtime::WarmupPolicy::kPB;
   options.schedule.recompute = rng.Bernoulli(0.3);
@@ -183,8 +192,14 @@ FaultFuzzCase MakeFaultFuzzCase(std::uint64_t seed) {
 
   fault::FaultOptions options;
   options.build.global_batch_size = rng.UniformInt(1, 6) * 4 * model.profile_micro_batch();
-  options.build.schedule.kind = rng.Bernoulli(0.7) ? runtime::ScheduleKind::kDapple
-                                                   : runtime::ScheduleKind::kGPipe;
+  // Side-stream kind draw; the legacy Bernoulli is consumed to keep the
+  // main stream — and with it every pinned fault script — unchanged (see
+  // MakeFuzzCase and the script stream note below).
+  (void)rng.Bernoulli(0.7);
+  Rng fault_kind_rng(seed * 0x9e3779b97f4a7c15ull + 0xe7037ed1a0b428dbull);
+  const auto& fault_kinds = runtime::AllScheduleKinds();
+  options.build.schedule.kind = fault_kinds[static_cast<std::size_t>(
+      fault_kind_rng.UniformInt(0, static_cast<std::int64_t>(fault_kinds.size()) - 1))];
   options.build.schedule.recompute = rng.Bernoulli(0.2);
   options.build.enforce_memory_capacity = false;
   options.horizon = rng.Uniform(2.0, 20.0);
@@ -284,6 +299,7 @@ FaultFuzzOutcome RunFaultFuzzCase(const FaultFuzzCase& c) {
 FuzzOutcome RunFuzzCase(const FuzzCase& c) {
   FuzzOutcome out;
   out.seed = c.seed;
+  out.kind = c.options.schedule.kind;
   out.num_stages = c.plan.num_stages();
   try {
     runtime::GraphBuilder builder(c.model, c.cluster, c.plan, c.options);
@@ -317,15 +333,18 @@ FuzzOutcome RunFuzzCase(const FuzzCase& c) {
                               result.makespan <= e.latency * kSimOverAnalyticTolerance + 1e-12;
     }
 
-    // Differential 2: with the DAPPLE schedule, peak pool memory is O(K),
-    // not O(M) — doubling the micro-batch count at a fixed micro-batch size
-    // must leave every peak unchanged. Only meaningful when no warmup depth
-    // is clamped by M itself (then K would legitimately grow with M).
+    // Differential 2: with an early-backward schedule (DAPPLE, and its 2BP
+    // split, whose extra stash is one transient slot regardless of M), peak
+    // pool memory is O(K), not O(M) — doubling the micro-batch count at a
+    // fixed micro-batch size must leave every peak unchanged. Only
+    // meaningful when no warmup depth is clamped by M itself (then K would
+    // legitimately grow with M).
     const int max_warmup = built.warmup_depths.empty()
                                ? 0
                                : *std::max_element(built.warmup_depths.begin(),
                                                    built.warmup_depths.end());
-    if (c.options.schedule.kind == runtime::ScheduleKind::kDapple &&
+    if ((c.options.schedule.kind == runtime::ScheduleKind::kDapple ||
+         c.options.schedule.kind == runtime::ScheduleKind::kDappleSplitBw) &&
         built.num_micro_batches >= 2 && max_warmup < built.num_micro_batches) {
       runtime::BuildOptions doubled = c.options;
       doubled.micro_batch_size = built.micro_batch_size;

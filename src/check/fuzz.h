@@ -57,15 +57,19 @@ struct FuzzCase {
   std::string Describe() const;
 };
 
-/// Deterministically derives a configuration from a seed. Covers both
-/// schedules, both warmup policies, warmup overrides, re-computation, both
-/// replication modes, homogeneous and straggler clusters, random plans and
-/// (on a subset of seeds) planner-produced plans.
+/// Deterministically derives a configuration from a seed. Covers every
+/// schedule kind (uniformly, from a salted side-stream so the kind draw
+/// never shifts the model/cluster/plan stream), both warmup policies,
+/// warmup overrides, re-computation, both replication modes, homogeneous
+/// and straggler clusters, random plans and (on a subset of seeds)
+/// planner-produced plans.
 FuzzCase MakeFuzzCase(std::uint64_t seed);
 
 /// Everything observed while running one case.
 struct FuzzOutcome {
   std::uint64_t seed = 0;
+  /// The case's schedule kind, so sweeps can report per-kind coverage.
+  runtime::ScheduleKind kind = runtime::ScheduleKind::kDapple;
   ValidationReport report;
 
   int num_tasks = 0;

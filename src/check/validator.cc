@@ -68,6 +68,18 @@ ValidationReport ScheduleValidator::Validate(const runtime::BuiltPipeline& built
   const int num_stages = plan_->num_stages();
   const int m_total = built.num_micro_batches;
   const bool split = options_.replication == runtime::ReplicationMode::kSplitMicroBatch;
+  const runtime::ScheduleKind kind = options_.schedule.kind;
+  const bool v_shape = runtime::IsVShape(kind);
+  const bool split_bw = kind == runtime::ScheduleKind::kDappleSplitBw;
+  // Device/replication source per stage: the host group's stage for the V
+  // shapes (chunk c folds onto stage min(c, S-1-c)), the stage itself
+  // otherwise. Re-derived here, independently of the builder's folding.
+  auto exec_stage = [&](int i) -> const planner::StagePlan& {
+    return plan_->stages[static_cast<std::size_t>(
+        runtime::HostStage(kind, i, num_stages))];
+  };
+  runtime::VSchedule vsched;
+  if (v_shape) vsched = runtime::BuildVSchedule(kind, num_stages, m_total);
 
   if (static_cast<int>(result.records.size()) != n) {
     add(kViolationTaskCount, "result has " + std::to_string(result.records.size()) +
@@ -82,27 +94,33 @@ ValidationReport ScheduleValidator::Validate(const runtime::BuiltPipeline& built
   }
 
   // --- Index tasks by role -----------------------------------------------
-  // fw[i][m] / bw[i][m]: per-replica compute tasks; ar[i]: gradient syncs;
-  // apply[i]: weight updates.
+  // fw[i][m] / bw[i][m] / bww[i][m]: per-replica compute tasks (bw holds
+  // 2BP's backward-input halves, bww its deferred weight halves); ar[i]:
+  // gradient syncs; apply[i]: weight updates.
   std::vector<std::vector<std::vector<sim::TaskId>>> fw(
       static_cast<std::size_t>(num_stages)),
-      bw(static_cast<std::size_t>(num_stages));
+      bw(static_cast<std::size_t>(num_stages)),
+      bww(static_cast<std::size_t>(num_stages));
   std::vector<std::vector<sim::TaskId>> ar(static_cast<std::size_t>(num_stages)),
       apply(static_cast<std::size_t>(num_stages));
   for (int i = 0; i < num_stages; ++i) {
     fw[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(m_total));
     bw[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(m_total));
+    bww[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(m_total));
   }
   for (const sim::Task& t : graph.tasks()) {
     const bool staged = t.stage >= 0 && t.stage < num_stages;
     switch (t.kind) {
       case sim::TaskKind::kForward:
-      case sim::TaskKind::kBackward: {
+      case sim::TaskKind::kBackward:
+      case sim::TaskKind::kBackwardWeight: {
         if (!staged || t.microbatch < 0 || t.microbatch >= m_total) {
           add(kViolationTaskCount, TaskLabel(graph, t.id) + " has out-of-range stage/microbatch");
           continue;
         }
-        auto& slot = t.kind == sim::TaskKind::kForward ? fw : bw;
+        auto& slot = t.kind == sim::TaskKind::kForward
+                         ? fw
+                         : (t.kind == sim::TaskKind::kBackward ? bw : bww);
         slot[static_cast<std::size_t>(t.stage)][static_cast<std::size_t>(t.microbatch)]
             .push_back(t.id);
         break;
@@ -184,6 +202,24 @@ ValidationReport ScheduleValidator::Validate(const runtime::BuiltPipeline& built
       }
       continue;
     }
+    if (v_shape) {
+      // V depths are the realized per-chunk stash counts of the
+      // deterministic greedy order — an exact expectation, not a range.
+      const int want = vsched.in_flight[static_cast<std::size_t>(i)];
+      if (k != want) {
+        add(kViolationWarmupShape, ToString(kind) + std::string(" chunk ") +
+                                       std::to_string(i) + " reports depth " +
+                                       std::to_string(k) + " != V order's " +
+                                       std::to_string(want));
+      }
+      const int cap = runtime::VStashCap(kind, i, num_stages);
+      if (k > std::min(cap, m_total)) {
+        add(kViolationWarmupShape, ToString(kind) + std::string(" chunk ") +
+                                       std::to_string(i) + " depth " + std::to_string(k) +
+                                       " exceeds its stash cap " + std::to_string(cap));
+      }
+      continue;
+    }
     if (k < 1 || k > m_total) {
       add(kViolationWarmupShape, "stage " + std::to_string(i) + " warmup depth " +
                                      std::to_string(k) + " outside [1, M=" +
@@ -199,54 +235,123 @@ ValidationReport ScheduleValidator::Validate(const runtime::BuiltPipeline& built
     }
   }
 
-  // --- (b) per-device FW/BW total order matches StageOrder ----------------
+  // --- (b) per-device compute total order matches the schedule ------------
   ++report.checks_run;
-  for (int i = 0; i < num_stages; ++i) {
-    const planner::StagePlan& stage = plan_->stages[static_cast<std::size_t>(i)];
-    const int r = stage.replication();
-    const std::vector<runtime::ScheduleStep> order = runtime::StageOrder(
-        options_.schedule, i, num_stages, m_total,
-        built.warmup_depths[static_cast<std::size_t>(i)]);
-    for (int rep = 0; rep < r; ++rep) {
-      const topo::DeviceId dev = stage.devices[rep];
-      // The order this device must follow: the stage order, restricted to
-      // its own micro-batches in round-robin mode.
-      std::vector<runtime::ScheduleStep> expected;
-      for (const runtime::ScheduleStep& step : order) {
-        if (!split && step.microbatch % r != rep) continue;
-        expected.push_back(step);
-      }
-      // The order it actually followed, reconstructed from start times.
-      std::vector<Interval> ran;
-      for (int m = 0; m < m_total; ++m) {
-        for (const auto* list : {&fw[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)],
-                                 &bw[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]}) {
-          for (sim::TaskId t : *list) {
-            if (graph.task(t).device != dev) continue;
-            const sim::TaskRecord& rec = result.records[static_cast<std::size_t>(t)];
-            ran.push_back({rec.start, rec.end, t});
+  if (v_shape) {
+    // Each device group must follow BuildVSchedule's merged two-chunk
+    // order exactly (restricted to its own micro-batches in round-robin
+    // mode).
+    const int groups = runtime::NumGroups(kind, num_stages);
+    for (int g = 0; g < groups; ++g) {
+      const planner::StagePlan& host = exec_stage(g);
+      const int r = host.replication();
+      const auto& order = vsched.group_orders[static_cast<std::size_t>(g)];
+      const int late = num_stages - 1 - g;
+      for (int rep = 0; rep < r; ++rep) {
+        const topo::DeviceId dev = host.devices[rep];
+        std::vector<runtime::GroupStep> expected;
+        for (const runtime::GroupStep& step : order) {
+          if (!split && step.microbatch % r != rep) continue;
+          expected.push_back(step);
+        }
+        std::vector<Interval> ran;
+        auto gather = [&](int chunk) {
+          for (int m = 0; m < m_total; ++m) {
+            for (const auto* list :
+                 {&fw[static_cast<std::size_t>(chunk)][static_cast<std::size_t>(m)],
+                  &bw[static_cast<std::size_t>(chunk)][static_cast<std::size_t>(m)]}) {
+              for (sim::TaskId t : *list) {
+                if (graph.task(t).device != dev) continue;
+                const sim::TaskRecord& rec = result.records[static_cast<std::size_t>(t)];
+                ran.push_back({rec.start, rec.end, t});
+              }
+            }
+          }
+        };
+        gather(g);
+        if (late != g) gather(late);
+        std::sort(ran.begin(), ran.end());
+        if (ran.size() != expected.size()) {
+          add(kViolationScheduleOrder,
+              "group " + std::to_string(g) + " device " + std::to_string(dev) + " ran " +
+                  std::to_string(ran.size()) + " FW/BW tasks, V order has " +
+                  std::to_string(expected.size()));
+          continue;
+        }
+        for (std::size_t k = 0; k < ran.size(); ++k) {
+          const sim::Task& t = graph.task(ran[k].id);
+          const bool is_backward = t.kind == sim::TaskKind::kBackward;
+          if (t.stage != expected[k].stage || is_backward != expected[k].is_backward ||
+              t.microbatch != expected[k].microbatch) {
+            std::ostringstream os;
+            os << "group " << g << " device " << dev << " position " << k << ": ran "
+               << (is_backward ? "BW" : "FW") << " s" << t.stage << " m" << t.microbatch
+               << ", V order says " << (expected[k].is_backward ? "BW" : "FW") << " s"
+               << expected[k].stage << " m" << expected[k].microbatch;
+            add(kViolationScheduleOrder, os.str());
+            break;  // one mismatch per device keeps reports readable
           }
         }
       }
-      std::sort(ran.begin(), ran.end());
-      if (ran.size() != expected.size()) {
-        add(kViolationScheduleOrder,
-            "stage " + std::to_string(i) + " device " + std::to_string(dev) + " ran " +
-                std::to_string(ran.size()) + " FW/BW tasks, schedule has " +
-                std::to_string(expected.size()));
-        continue;
-      }
-      for (std::size_t k = 0; k < ran.size(); ++k) {
-        const sim::Task& t = graph.task(ran[k].id);
-        const bool is_backward = t.kind == sim::TaskKind::kBackward;
-        if (is_backward != expected[k].is_backward ||
-            t.microbatch != expected[k].microbatch) {
-          std::ostringstream os;
-          os << "stage " << i << " device " << dev << " position " << k << ": ran "
-             << (is_backward ? "BW" : "FW") << " m" << t.microbatch << ", schedule says "
-             << (expected[k].is_backward ? "BW" : "FW") << " m" << expected[k].microbatch;
-          add(kViolationScheduleOrder, os.str());
-          break;  // one mismatch per device keeps reports readable
+    }
+  } else {
+    for (int i = 0; i < num_stages; ++i) {
+      const planner::StagePlan& stage = plan_->stages[static_cast<std::size_t>(i)];
+      const int r = stage.replication();
+      const std::vector<runtime::ScheduleStep> order = runtime::StageOrder(
+          options_.schedule, i, num_stages, m_total,
+          built.warmup_depths[static_cast<std::size_t>(i)]);
+      for (int rep = 0; rep < r; ++rep) {
+        const topo::DeviceId dev = stage.devices[rep];
+        // The order this device must follow: the stage order, restricted to
+        // its own micro-batches in round-robin mode.
+        std::vector<runtime::ScheduleStep> expected;
+        for (const runtime::ScheduleStep& step : order) {
+          if (!split && step.microbatch % r != rep) continue;
+          expected.push_back(step);
+        }
+        // The order it actually followed, reconstructed from start times
+        // (2BP's weight halves are part of the total order).
+        std::vector<Interval> ran;
+        for (int m = 0; m < m_total; ++m) {
+          for (const auto* list :
+               {&fw[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)],
+                &bw[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)],
+                &bww[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]}) {
+            for (sim::TaskId t : *list) {
+              if (graph.task(t).device != dev) continue;
+              const sim::TaskRecord& rec = result.records[static_cast<std::size_t>(t)];
+              ran.push_back({rec.start, rec.end, t});
+            }
+          }
+        }
+        std::sort(ran.begin(), ran.end());
+        if (ran.size() != expected.size()) {
+          add(kViolationScheduleOrder,
+              "stage " + std::to_string(i) + " device " + std::to_string(dev) + " ran " +
+                  std::to_string(ran.size()) + " compute tasks, schedule has " +
+                  std::to_string(expected.size()));
+          continue;
+        }
+        for (std::size_t k = 0; k < ran.size(); ++k) {
+          const sim::Task& t = graph.task(ran[k].id);
+          const bool is_backward = t.kind != sim::TaskKind::kForward;
+          const bool weight_grad = t.kind == sim::TaskKind::kBackwardWeight;
+          if (is_backward != expected[k].is_backward ||
+              weight_grad != expected[k].weight_grad ||
+              t.microbatch != expected[k].microbatch) {
+            auto step_name = [](bool backward, bool weight) {
+              return weight ? "BWW" : (backward ? "BW" : "FW");
+            };
+            std::ostringstream os;
+            os << "stage " << i << " device " << dev << " position " << k << ": ran "
+               << step_name(is_backward, weight_grad) << " m" << t.microbatch
+               << ", schedule says "
+               << step_name(expected[k].is_backward, expected[k].weight_grad) << " m"
+               << expected[k].microbatch;
+            add(kViolationScheduleOrder, os.str());
+            break;  // one mismatch per device keeps reports readable
+          }
         }
       }
     }
@@ -254,11 +359,16 @@ ValidationReport ScheduleValidator::Validate(const runtime::BuiltPipeline& built
 
   // --- (c) in-flight activations never exceed the warmup depth ------------
   // A micro-batch's activations are live on a device from its FW start (the
-  // engine applies alloc_at_start there) until its BW end (free_at_end).
+  // engine applies alloc_at_start there) until the end of the task that
+  // carries free_at_end — BW normally, the deferred BWW under 2BP. The 2BP
+  // steady pattern [BI_m, FW_{m+K}, BWW_m] runs the next forward before
+  // BWW_m frees micro-batch m, so one transient extra stash is legal.
   ++report.checks_run;
+  const auto& free_tasks = split_bw ? bww : bw;
   for (int i = 0; i < num_stages; ++i) {
-    const planner::StagePlan& stage = plan_->stages[static_cast<std::size_t>(i)];
-    const int limit = built.warmup_depths[static_cast<std::size_t>(i)];
+    const planner::StagePlan& stage = exec_stage(i);
+    const int limit =
+        built.warmup_depths[static_cast<std::size_t>(i)] + (split_bw ? 1 : 0);
     for (topo::DeviceId dev : stage.devices.devices()) {
       // (time, delta); frees sort before allocations at equal times, the
       // engine's completion-before-dispatch order.
@@ -269,7 +379,8 @@ ValidationReport ScheduleValidator::Validate(const runtime::BuiltPipeline& built
             events.emplace_back(result.records[static_cast<std::size_t>(t)].start, +1);
           }
         }
-        for (sim::TaskId t : bw[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]) {
+        for (sim::TaskId t :
+             free_tasks[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]) {
           if (graph.task(t).device == dev) {
             events.emplace_back(result.records[static_cast<std::size_t>(t)].end, -1);
           }
@@ -350,11 +461,13 @@ ValidationReport ScheduleValidator::Validate(const runtime::BuiltPipeline& built
   // --- (e) collectives: AllReduce / apply / transfer shape -----------------
   ++report.checks_run;
   for (int i = 0; i < num_stages; ++i) {
-    const planner::StagePlan& stage = plan_->stages[static_cast<std::size_t>(i)];
+    const planner::StagePlan& stage = exec_stage(i);
     const int r = stage.replication();
     const int per_micro = split ? r : 1;
 
-    // FW/BW cardinality per micro-batch.
+    // FW/BW cardinality per micro-batch; 2BP additionally owes one weight
+    // half per backward, every other kind owes none.
+    const int want_bww = split_bw ? per_micro : 0;
     for (int m = 0; m < m_total; ++m) {
       const auto& fws = fw[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
       const auto& bws = bw[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
@@ -365,6 +478,13 @@ ValidationReport ScheduleValidator::Validate(const runtime::BuiltPipeline& built
                                      std::to_string(fws.size()) + " FW / " +
                                      std::to_string(bws.size()) + " BW tasks, expected " +
                                      std::to_string(per_micro) + " each");
+      }
+      const auto& bwws = bww[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
+      if (static_cast<int>(bwws.size()) != want_bww) {
+        add(kViolationTaskCount, "stage " + std::to_string(i) + " micro-batch " +
+                                     std::to_string(m) + " has " +
+                                     std::to_string(bwws.size()) +
+                                     " BWW tasks, expected " + std::to_string(want_bww));
       }
     }
 
@@ -379,11 +499,14 @@ ValidationReport ScheduleValidator::Validate(const runtime::BuiltPipeline& built
       add(kViolationAllReduceExtra, "stage " + std::to_string(i) + " has " +
                                         std::to_string(ars.size()) + " AllReduce tasks");
     }
+    // The tasks producing this stage's weight gradients: the BWW halves
+    // under 2BP, the full backwards otherwise. They gate AllReduce/APPLY.
+    const auto& grads = split_bw ? bww : bw;
     if (r > 1 && ars.size() == 1) {
       const auto& preds = graph.predecessors(ars.front());
       const std::unordered_set<sim::TaskId> pred_set(preds.begin(), preds.end());
       for (int m = 0; m < m_total; ++m) {
-        for (sim::TaskId t : bw[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]) {
+        for (sim::TaskId t : grads[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]) {
           if (!pred_set.count(t)) {
             add(kViolationAllReduceFanIn,
                 TaskLabel(graph, t) + " does not feed stage " + std::to_string(i) +
@@ -418,7 +541,7 @@ ValidationReport ScheduleValidator::Validate(const runtime::BuiltPipeline& built
         } else {
           for (int m = 0; m < m_total; ++m) {
             for (sim::TaskId b :
-                 bw[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]) {
+                 grads[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]) {
               if (graph.task(b).device == t.device && !pred_set.count(b)) {
                 add(kViolationApplyShape,
                     TaskLabel(graph, a) + " is not gated on " + TaskLabel(graph, b));

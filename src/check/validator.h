@@ -9,11 +9,15 @@
 //   (a) resource exclusivity and dependency order — no two tasks overlap
 //       on one serial resource; every successor starts after all of its
 //       predecessors end;
-//   (b) per-device FW/BW total order equals runtime::StageOrder exactly,
-//       including GPipe's LIFO backward;
+//   (b) per-device compute total order equals the schedule exactly —
+//       runtime::StageOrder for the linear families (including GPipe's
+//       LIFO backward and 2BP's deferred weight halves), the merged
+//       two-chunk group order from runtime::BuildVSchedule for V-Min and
+//       V-Half;
 //   (c) the in-flight activation count at stage i (forwards started minus
-//       backwards completed, per device) never exceeds the stage's warmup
-//       depth K_i;
+//       releases completed, per device) never exceeds the stage's warmup
+//       depth K_i (K_i + 1 under 2BP, whose weight half frees one forward
+//       later);
 //   (d) memory accounting conserves — per-pool allocations equal releases,
 //       pools end at their baseline, and baselines/capacities/OOM flags
 //       match the engine options;

@@ -72,6 +72,11 @@ IterationReport BuildIterationReport(const runtime::BuiltPipeline& pipeline,
           dev.backward_busy += duration;
           first_backward = std::min(first_backward, rec.start);
           break;
+        // 2BP weight halves count as backward work, but the warmup phase
+        // boundary keys off the backward-input halves (kBackward) only.
+        case sim::TaskKind::kBackwardWeight:
+          dev.backward_busy += duration;
+          break;
         case sim::TaskKind::kApply: dev.apply_busy += duration; break;
         default: break;
       }
@@ -85,7 +90,10 @@ IterationReport BuildIterationReport(const runtime::BuiltPipeline& pipeline,
           stage.devices.push_back(task.device);
         }
         if (task.kind == sim::TaskKind::kForward) stage.forward_busy += duration;
-        if (task.kind == sim::TaskKind::kBackward) stage.backward_busy += duration;
+        if (task.kind == sim::TaskKind::kBackward ||
+            task.kind == sim::TaskKind::kBackwardWeight) {
+          stage.backward_busy += duration;
+        }
       }
     } else if (task.kind == sim::TaskKind::kTransfer ||
                task.kind == sim::TaskKind::kAllReduce) {

@@ -148,6 +148,137 @@ Bytes LatencyEstimator::StagePeakMemory(const StagePlan& stage, double samples,
   return baseline + static_cast<Bytes>(warmup_depth) * per_micro + transient;
 }
 
+ScheduleFamilyEstimate LatencyEstimator::EstimateFamily(runtime::ScheduleKind kind,
+                                                        const ParallelPlan& plan,
+                                                        long global_batch_size) const {
+  plan.Validate(*model_);
+  ScheduleFamilyEstimate est;
+  est.kind = kind;
+  int max_replication = 1;
+  for (const StagePlan& s : plan.stages) {
+    max_replication = std::max(max_replication, s.replication());
+  }
+  const MicroBatching mb =
+      ChooseMicroBatching(global_batch_size, model_->profile_micro_batch(),
+                          max_replication, plan.num_stages());
+  est.micro_batch_size = mb.micro_batch_size;
+  est.num_micro_batches = mb.num_micro_batches;
+  const int S = plan.num_stages();
+  const int M = mb.num_micro_batches;
+
+  // Per-chunk compute costs and memory pieces. For the V shapes chunk c
+  // runs on its host group's devices, so its samples/speed come from there.
+  std::vector<TimeSec> fwd(static_cast<std::size_t>(S)), bwd(static_cast<std::size_t>(S)),
+      bwd_raw(static_cast<std::size_t>(S));
+  std::vector<Bytes> base(static_cast<std::size_t>(S)), act(static_cast<std::size_t>(S)),
+      trans(static_cast<std::size_t>(S));
+  for (int i = 0; i < S; ++i) {
+    const StagePlan& stage = plan.stages[static_cast<std::size_t>(i)];
+    const StagePlan& host =
+        plan.stages[static_cast<std::size_t>(runtime::HostStage(kind, i, S))];
+    const double samples =
+        static_cast<double>(mb.micro_batch_size) / host.replication();
+    double speed = std::numeric_limits<double>::infinity();
+    for (topo::DeviceId d : host.devices.devices()) {
+      speed = std::min(speed, cluster_->device_speed(d));
+    }
+    const auto idx = static_cast<std::size_t>(i);
+    fwd[idx] = model_->ForwardTime(stage.layer_begin, stage.layer_end, samples, speed);
+    bwd_raw[idx] =
+        model_->BackwardTime(stage.layer_begin, stage.layer_end, samples, speed);
+    bwd[idx] = bwd_raw[idx];
+    if (options_.recompute) bwd[idx] += options_.recompute_overhead * fwd[idx];
+    base[idx] = model_->BaselineMemory(stage.layer_begin, stage.layer_end);
+    if (options_.recompute) {
+      act[idx] = model_->CheckpointMemory(stage.layer_begin, stage.layer_end, samples);
+      trans[idx] = model_->MaxLayerActivationMemory(stage.layer_begin, stage.layer_end,
+                                                    samples);
+    } else {
+      act[idx] = model_->ActivationMemory(stage.layer_begin, stage.layer_end, samples);
+    }
+  }
+  TimeSec sum_f = 0.0, sum_b = 0.0, max_f = 0.0, max_b = 0.0, max_round = 0.0;
+  for (int i = 0; i < S; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    sum_f += fwd[idx];
+    sum_b += bwd[idx];
+    max_f = std::max(max_f, fwd[idx]);
+    max_b = std::max(max_b, bwd[idx]);
+    max_round = std::max(max_round, fwd[idx] + bwd[idx]);
+  }
+
+  const double m1 = static_cast<double>(M - 1);
+  Bytes peak = 0;
+  switch (kind) {
+    case runtime::ScheduleKind::kGPipe: {
+      est.latency = sum_f + m1 * max_f + sum_b + m1 * max_b;
+      for (int i = 0; i < S; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        peak = std::max(peak,
+                        base[idx] + static_cast<Bytes>(M) * act[idx] + trans[idx]);
+      }
+      break;
+    }
+    case runtime::ScheduleKind::kDapple:
+    case runtime::ScheduleKind::kDappleSplitBw: {
+      const bool split_bw = kind == runtime::ScheduleKind::kDappleSplitBw;
+      TimeSec drain = 0.0;
+      for (int i = 0; i < S; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        // 2BP's drain cascade waits only on the backward-input halves
+        // (recompute overhead included there); stage 0 then finishes its
+        // own deferred weight half.
+        drain += split_bw ? bwd[idx] - 0.5 * bwd_raw[idx] : bwd[idx];
+      }
+      if (split_bw) drain += 0.5 * bwd_raw[0];
+      est.latency = sum_f + m1 * max_round + drain;
+      for (int i = 0; i < S; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const int k = std::min(S - i, M) + (split_bw ? 1 : 0);
+        peak = std::max(peak,
+                        base[idx] + static_cast<Bytes>(k) * act[idx] + trans[idx]);
+      }
+      break;
+    }
+    case runtime::ScheduleKind::kVMin:
+    case runtime::ScheduleKind::kVHalf: {
+      const int groups = runtime::NumGroups(kind, S);
+      TimeSec round = 0.0;
+      for (int g = 0; g < groups; ++g) {
+        const int late = S - 1 - g;
+        TimeSec r = fwd[static_cast<std::size_t>(g)] + bwd[static_cast<std::size_t>(g)];
+        if (late != g) {
+          r += fwd[static_cast<std::size_t>(late)] + bwd[static_cast<std::size_t>(late)];
+        }
+        round = std::max(round, r);
+        Bytes p = base[static_cast<std::size_t>(g)] +
+                  static_cast<Bytes>(std::min(runtime::VStashCap(kind, g, S), M)) *
+                      act[static_cast<std::size_t>(g)] +
+                  trans[static_cast<std::size_t>(g)];
+        if (late != g) {
+          p += base[static_cast<std::size_t>(late)] +
+               static_cast<Bytes>(std::min(runtime::VStashCap(kind, late, S), M)) *
+                   act[static_cast<std::size_t>(late)] +
+               trans[static_cast<std::size_t>(late)];
+        }
+        peak = std::max(peak, p);
+      }
+      est.latency = sum_f + m1 * round + sum_b;
+      break;
+    }
+  }
+  est.max_peak_memory = peak;
+
+  // Compute-only utilization over the device groups the family occupies.
+  const int groups = runtime::NumGroups(kind, S);
+  const TimeSec busy = static_cast<double>(M) * (sum_f + sum_b);
+  if (est.latency > 0.0 && groups > 0) {
+    est.bubble_ratio =
+        std::max(0.0, 1.0 - busy / (static_cast<double>(groups) * est.latency));
+  }
+  return est;
+}
+
 PlanEstimate LatencyEstimator::Estimate(const ParallelPlan& plan,
                                         long global_batch_size) const {
   plan.Validate(*model_);

@@ -18,6 +18,7 @@
 #include "comm/cost_model.h"
 #include "model/profile.h"
 #include "planner/plan.h"
+#include "runtime/schedule.h"
 #include "topo/cluster.h"
 
 namespace dapple::planner {
@@ -60,6 +61,20 @@ struct PlanEstimate {
 
   /// Paper §VI-C speedup metric: single-device sequential time over L.
   double speedup = 0.0;
+};
+
+/// Analytic bubble/memory frontier point for one schedule family on one
+/// plan — the planner-side counterpart of a simulated run, used by
+/// bench_schedule_frontier to sweep families without building task graphs.
+struct ScheduleFamilyEstimate {
+  runtime::ScheduleKind kind = runtime::ScheduleKind::kDapple;
+  TimeSec latency = 0.0;
+  /// 1 - busy / (occupied device groups * latency); compute-only.
+  double bubble_ratio = 0.0;
+  /// Worst per-device peak memory under the family's stash discipline.
+  Bytes max_peak_memory = 0;
+  int micro_batch_size = 0;
+  int num_micro_batches = 0;
 };
 
 struct LatencyOptions {
@@ -114,6 +129,22 @@ class LatencyEstimator {
 
   /// Full estimate for a plan at a global batch size.
   PlanEstimate Estimate(const ParallelPlan& plan, long global_batch_size) const;
+
+  /// Closed-form device-compute frontier model per schedule family
+  /// (transfers and gradient sync excluded — this ranks families on bubble
+  /// shape and stash discipline, not absolute latency):
+  ///   GPipe:  L = sumF + (M-1) maxF + sumB + (M-1) maxB, M stashes/stage.
+  ///   DAPPLE: L = sumF + (M-1)(F_q + B_q) + sumB with the bottleneck
+  ///           pivot q = argmax(F+B), K_i = min(S-i, M) stashes (PA).
+  ///   2BP:    as DAPPLE, but the drain cascade runs on backward-input
+  ///           halves and stage 0 finishes with its own weight half;
+  ///           one transient extra stash per stage.
+  ///   V-Min / V-Half: chunks fold onto ceil(S/2) groups; the steady round
+  ///           of group g covers both hosted chunks, and each chunk stashes
+  ///           at most its VStashCap.
+  ScheduleFamilyEstimate EstimateFamily(runtime::ScheduleKind kind,
+                                        const ParallelPlan& plan,
+                                        long global_batch_size) const;
 
   /// Micro-batch size rule: each replica of the widest stage processes the
   /// model's profile micro-batch, i.e. mbs = profile_mb * max_replication

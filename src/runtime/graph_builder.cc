@@ -22,15 +22,21 @@ namespace {
 
 struct StageInfo {
   const planner::StagePlan* plan = nullptr;
+  /// Device/replication source. Identity for the linear schedules; for the
+  /// V shapes, chunk c executes on its host group's stage
+  /// (min(c, S-1-c)), so both chunks of a group share one device set.
+  const planner::StagePlan* exec = nullptr;
   double samples = 0.0;  // examples per FW/BW task on one device
   TimeSec forward = 0.0;
   TimeSec backward = 0.0;
+  TimeSec bw_input = 0.0;   // 2BP: backward-input half (carries recompute)
+  TimeSec bw_weight = 0.0;  // 2BP: deferred backward-weight half
   Bytes baseline = 0;
   Bytes full_activation = 0;   // per in-flight micro-batch (no recompute)
   Bytes checkpoint = 0;        // per in-flight micro-batch (recompute)
   Bytes fw_alloc = 0;          // allocated at FW start
   Bytes bw_alloc = 0;          // transient working set at BW start
-  Bytes bw_free = 0;           // released at BW end
+  Bytes bw_free = 0;           // released at BW end (2BP: at BWW end)
   int warmup = 0;
 };
 
@@ -46,6 +52,9 @@ GraphBuilder::GraphBuilder(const model::ModelProfile& model, const topo::Cluster
 BuiltPipeline GraphBuilder::Build() const {
   const int num_stages = plan_->num_stages();
   const int num_devices = cluster_->num_devices();
+  const ScheduleKind kind = options_.schedule.kind;
+  const bool v_shape = IsVShape(kind);
+  const bool split_bw = kind == ScheduleKind::kDappleSplitBw;
   comm::CostModel cost(*cluster_);
 
   int max_replication = 1;
@@ -70,12 +79,18 @@ BuiltPipeline GraphBuilder::Build() const {
   const int mbs = built.micro_batch_size;
   const int m_total = built.num_micro_batches;
 
+  // The deterministic V order is shared with the validator; its realized
+  // per-chunk depths become warmup_depths below.
+  VSchedule vsched;
+  if (v_shape) vsched = BuildVSchedule(kind, num_stages, m_total);
+
   // --- Per-stage costs and memory effects -------------------------------
   std::vector<StageInfo> info(static_cast<std::size_t>(num_stages));
   for (int i = 0; i < num_stages; ++i) {
     StageInfo& si = info[static_cast<std::size_t>(i)];
     si.plan = &plan_->stages[static_cast<std::size_t>(i)];
-    const int r = si.plan->replication();
+    si.exec = &plan_->stages[static_cast<std::size_t>(HostStage(kind, i, num_stages))];
+    const int r = si.exec->replication();
     si.samples = options_.replication == ReplicationMode::kSplitMicroBatch
                      ? static_cast<double>(mbs) / r
                      : static_cast<double>(mbs);
@@ -85,9 +100,14 @@ BuiltPipeline GraphBuilder::Build() const {
         model_->ForwardTime(si.plan->layer_begin, si.plan->layer_end, si.samples, 1.0);
     si.backward =
         model_->BackwardTime(si.plan->layer_begin, si.plan->layer_end, si.samples, 1.0);
+    // 2BP halves the backward at the input/weight gradient boundary; the
+    // forward replay under recompute must precede the input half (the
+    // gradient leaves the stage there), so the overhead lands on BI.
+    si.bw_weight = 0.5 * si.backward;
     if (options_.schedule.recompute) {
       si.backward += options_.schedule.recompute_overhead * si.forward;
     }
+    si.bw_input = si.backward - si.bw_weight;
     si.baseline = model_->BaselineMemory(si.plan->layer_begin, si.plan->layer_end);
     si.full_activation =
         model_->ActivationMemory(si.plan->layer_begin, si.plan->layer_end, si.samples);
@@ -105,12 +125,22 @@ BuiltPipeline GraphBuilder::Build() const {
       si.bw_free = si.full_activation;
     }
 
-    // Memory-supported in-flight count D (only DAPPLE throttles; GPipe's
-    // all-forwards injection is what we want to observe OOMing).
+    if (v_shape) {
+      // The realized in-flight depth of the deterministic V order (at most
+      // the VStashCap bound; the greedy order may stay below it).
+      si.warmup = vsched.in_flight[static_cast<std::size_t>(i)];
+      continue;
+    }
+
+    // Memory-supported in-flight count D (the 1F1B family throttles;
+    // GPipe's all-forwards injection is what we want to observe OOMing).
     int memory_limit = 0;
-    if (options_.schedule.kind == ScheduleKind::kDapple &&
+    if ((kind == ScheduleKind::kDapple || kind == ScheduleKind::kDappleSplitBw) &&
         options_.enforce_memory_capacity && si.fw_alloc > 0) {
-      const Bytes reserve = si.baseline + si.bw_alloc;
+      // 2BP holds one extra stash transiently: the next forward runs
+      // between BI_m and BWW_m, before BWW_m frees micro-batch m.
+      const Bytes reserve =
+          si.baseline + si.bw_alloc + (split_bw ? si.fw_alloc : Bytes{0});
       const Bytes capacity = cluster_->device().memory;
       if (capacity > reserve) {
         memory_limit = static_cast<int>((capacity - reserve) / std::max<Bytes>(si.fw_alloc, 1));
@@ -125,10 +155,14 @@ BuiltPipeline GraphBuilder::Build() const {
   // behind F_{m+K_{i+1}-1} there — a K that grows downstream would deadlock
   // the control chains. Memory clamping can only lower a K, so restoring
   // monotonicity by lowering downstream stages keeps every stage feasible.
-  for (int i = 1; i < num_stages; ++i) {
-    info[static_cast<std::size_t>(i)].warmup =
-        std::min(info[static_cast<std::size_t>(i)].warmup,
-                 info[static_cast<std::size_t>(i - 1)].warmup);
+  // (The V shapes skip this: their order comes whole from BuildVSchedule,
+  // whose caps are non-increasing by construction.)
+  if (!v_shape) {
+    for (int i = 1; i < num_stages; ++i) {
+      info[static_cast<std::size_t>(i)].warmup =
+          std::min(info[static_cast<std::size_t>(i)].warmup,
+                   info[static_cast<std::size_t>(i - 1)].warmup);
+    }
   }
   for (int i = 0; i < num_stages; ++i) {
     built.warmup_depths.push_back(info[static_cast<std::size_t>(i)].warmup);
@@ -139,15 +173,19 @@ BuiltPipeline GraphBuilder::Build() const {
 
   sim::TaskGraph& graph = built.graph;
 
-  // fw_tasks[i][m] / bw_tasks[i][m]: per-replica task ids (one entry in
-  // round-robin mode).
+  // fw_tasks[i][m] / bw_tasks[i][m] / bww_tasks[i][m]: per-replica task ids
+  // (one entry in round-robin mode). Under 2BP, bw_tasks holds the
+  // backward-input halves (they carry the cross-stage gradient, so every
+  // transfer keeps reading bw_tasks) and bww_tasks the weight halves.
   std::vector<std::vector<std::vector<sim::TaskId>>> fw_tasks(
       static_cast<std::size_t>(num_stages));
   std::vector<std::vector<std::vector<sim::TaskId>>> bw_tasks(
       static_cast<std::size_t>(num_stages));
+  std::vector<std::vector<std::vector<sim::TaskId>>> bww_tasks(
+      static_cast<std::size_t>(num_stages));
 
   auto replicas_for = [&](int stage, int micro) -> std::vector<int> {
-    const int r = info[static_cast<std::size_t>(stage)].plan->replication();
+    const int r = info[static_cast<std::size_t>(stage)].exec->replication();
     if (options_.replication == ReplicationMode::kSplitMicroBatch) {
       std::vector<int> all(static_cast<std::size_t>(r));
       for (int k = 0; k < r; ++k) all[static_cast<std::size_t>(k)] = k;
@@ -160,9 +198,10 @@ BuiltPipeline GraphBuilder::Build() const {
     const StageInfo& si = info[static_cast<std::size_t>(i)];
     fw_tasks[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(m_total));
     bw_tasks[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(m_total));
+    bww_tasks[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(m_total));
     for (int m = 0; m < m_total; ++m) {
       for (int rep : replicas_for(i, m)) {
-        const topo::DeviceId dev = si.plan->devices[rep];
+        const topo::DeviceId dev = si.exec->devices[rep];
         const double dev_speed = cluster_->device_speed(dev);
         sim::Task fw;
         fw.name = "FW s" + std::to_string(i) + " m" + std::to_string(m) + " G" +
@@ -179,19 +218,37 @@ BuiltPipeline GraphBuilder::Build() const {
             graph.AddTask(std::move(fw)));
 
         sim::Task bw;
-        bw.name = "BW s" + std::to_string(i) + " m" + std::to_string(m) + " G" +
-                  std::to_string(dev);
+        bw.name = (split_bw ? "BI s" : "BW s") + std::to_string(i) + " m" +
+                  std::to_string(m) + " G" + std::to_string(dev);
         bw.kind = sim::TaskKind::kBackward;
         bw.resource = dev;
-        bw.duration = si.backward / dev_speed;
+        bw.duration = (split_bw ? si.bw_input : si.backward) / dev_speed;
         bw.pool = dev;
         bw.alloc_at_start = si.bw_alloc;
-        bw.free_at_end = si.bw_free;
+        // 2BP: the stash (and the replay working set) stays live until the
+        // weight half has consumed the activations; BWW frees it all.
+        bw.free_at_end = split_bw ? Bytes{0} : si.bw_free;
         bw.stage = i;
         bw.microbatch = m;
         bw.device = dev;
         bw_tasks[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)].push_back(
             graph.AddTask(std::move(bw)));
+
+        if (split_bw) {
+          sim::Task bww;
+          bww.name = "BWW s" + std::to_string(i) + " m" + std::to_string(m) + " G" +
+                     std::to_string(dev);
+          bww.kind = sim::TaskKind::kBackwardWeight;
+          bww.resource = dev;
+          bww.duration = si.bw_weight / dev_speed;
+          bww.pool = dev;
+          bww.free_at_end = si.bw_free;
+          bww.stage = i;
+          bww.microbatch = m;
+          bww.device = dev;
+          bww_tasks[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)].push_back(
+              graph.AddTask(std::move(bww)));
+        }
       }
     }
   }
@@ -205,6 +262,13 @@ BuiltPipeline GraphBuilder::Build() const {
       // Same-replica FW -> BW (activations live on the device).
       DAPPLE_CHECK_EQ(fws.size(), bws.size());
       for (std::size_t k = 0; k < fws.size(); ++k) graph.AddEdge(fws[k], bws[k]);
+      if (split_bw) {
+        // BI produces the intermediate gradients BWW contracts against.
+        const auto& bwws =
+            bww_tasks[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
+        DAPPLE_CHECK_EQ(bws.size(), bwws.size());
+        for (std::size_t k = 0; k < bws.size(); ++k) graph.AddEdge(bws[k], bwws[k]);
+      }
     }
     if (i + 1 == num_stages) continue;
 
@@ -215,7 +279,9 @@ BuiltPipeline GraphBuilder::Build() const {
       const auto& dst = fw_tasks[static_cast<std::size_t>(i + 1)][static_cast<std::size_t>(m)];
       TimeSec tx_time;
       if (options_.replication == ReplicationMode::kSplitMicroBatch) {
-        tx_time = cost.CrossStage(si.plan->devices, sn.plan->devices, act);
+        // Co-located device sets (a V group's two chunks, or the V bottom)
+        // degrade to a local memcpy inside CrossStage.
+        tx_time = cost.CrossStage(si.exec->devices, sn.exec->devices, act);
       } else {
         const topo::DeviceId a = graph.task(src.front()).device;
         const topo::DeviceId b = graph.task(dst.front()).device;
@@ -238,7 +304,7 @@ BuiltPipeline GraphBuilder::Build() const {
       const auto& bdst = bw_tasks[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)];
       TimeSec btx_time;
       if (options_.replication == ReplicationMode::kSplitMicroBatch) {
-        btx_time = cost.CrossStage(sn.plan->devices, si.plan->devices, act);
+        btx_time = cost.CrossStage(sn.exec->devices, si.exec->devices, act);
       } else {
         const topo::DeviceId a = graph.task(bsrc.front()).device;
         const topo::DeviceId b = graph.task(bdst.front()).device;
@@ -260,48 +326,79 @@ BuiltPipeline GraphBuilder::Build() const {
   }
 
   // --- Control dependencies: per-device execution order ------------------
-  for (int i = 0; i < num_stages; ++i) {
-    const StageInfo& si = info[static_cast<std::size_t>(i)];
-    const int r = si.plan->replication();
-    const std::vector<ScheduleStep> order =
-        StageOrder(options_.schedule, i, num_stages, m_total, si.warmup);
-    for (int rep = 0; rep < r; ++rep) {
-      sim::TaskId prev = sim::kInvalidTask;
-      int position = 0;
-      for (const ScheduleStep& step : order) {
-        // In round-robin mode a device only executes its assigned
-        // micro-batches.
-        std::vector<sim::TaskId> candidates;
-        if (options_.replication == ReplicationMode::kRoundRobin) {
-          if (step.microbatch % r != rep) continue;
-          candidates = step.is_backward
-                           ? bw_tasks[static_cast<std::size_t>(i)]
-                                     [static_cast<std::size_t>(step.microbatch)]
-                           : fw_tasks[static_cast<std::size_t>(i)]
-                                     [static_cast<std::size_t>(step.microbatch)];
-          DAPPLE_CHECK_EQ(candidates.size(), 1u);
-        } else {
-          const auto& list = step.is_backward
-                                 ? bw_tasks[static_cast<std::size_t>(i)]
-                                           [static_cast<std::size_t>(step.microbatch)]
-                                 : fw_tasks[static_cast<std::size_t>(i)]
-                                           [static_cast<std::size_t>(step.microbatch)];
-          candidates = {list[static_cast<std::size_t>(rep)]};
+  // Picks the concrete task of a schedule step for one replica slot.
+  auto step_task = [&](int stage, bool is_backward, bool weight_grad, int micro,
+                       int rep) -> sim::TaskId {
+    const auto& arr = weight_grad ? bww_tasks : (is_backward ? bw_tasks : fw_tasks);
+    const auto& list =
+        arr[static_cast<std::size_t>(stage)][static_cast<std::size_t>(micro)];
+    if (options_.replication == ReplicationMode::kRoundRobin) {
+      DAPPLE_CHECK_EQ(list.size(), 1u);
+      return list.front();
+    }
+    return list[static_cast<std::size_t>(rep)];
+  };
+
+  if (v_shape) {
+    // One chain per device group: the merged two-chunk order from
+    // BuildVSchedule. The chain follows the global tick order — a linear
+    // extension of the data dependencies — so adding it keeps the graph
+    // acyclic.
+    const int groups = NumGroups(kind, num_stages);
+    for (int g = 0; g < groups; ++g) {
+      const int r = info[static_cast<std::size_t>(g)].exec->replication();
+      const auto& order = vsched.group_orders[static_cast<std::size_t>(g)];
+      for (int rep = 0; rep < r; ++rep) {
+        sim::TaskId prev = sim::kInvalidTask;
+        int position = 0;
+        for (const GroupStep& step : order) {
+          if (options_.replication == ReplicationMode::kRoundRobin &&
+              step.microbatch % r != rep) {
+            continue;
+          }
+          const sim::TaskId current =
+              step_task(step.stage, step.is_backward, false, step.microbatch, rep);
+          graph.mutable_task(current).priority = position++;
+          if (prev != sim::kInvalidTask) graph.AddEdge(prev, current);
+          prev = current;
         }
-        const sim::TaskId current = candidates.front();
-        graph.mutable_task(current).priority = position++;
-        if (prev != sim::kInvalidTask) graph.AddEdge(prev, current);
-        prev = current;
+      }
+    }
+  } else {
+    for (int i = 0; i < num_stages; ++i) {
+      const StageInfo& si = info[static_cast<std::size_t>(i)];
+      const int r = si.exec->replication();
+      const std::vector<ScheduleStep> order =
+          StageOrder(options_.schedule, i, num_stages, m_total, si.warmup);
+      for (int rep = 0; rep < r; ++rep) {
+        sim::TaskId prev = sim::kInvalidTask;
+        int position = 0;
+        for (const ScheduleStep& step : order) {
+          // In round-robin mode a device only executes its assigned
+          // micro-batches.
+          if (options_.replication == ReplicationMode::kRoundRobin &&
+              step.microbatch % r != rep) {
+            continue;
+          }
+          const sim::TaskId current = step_task(i, step.is_backward, step.weight_grad,
+                                                step.microbatch, rep);
+          graph.mutable_task(current).priority = position++;
+          if (prev != sim::kInvalidTask) graph.AddEdge(prev, current);
+          prev = current;
+        }
       }
     }
   }
 
   // --- Gradient synchronization and weight update -------------------------
+  // Under 2BP the weight gradients come from the BWW halves, so they (not
+  // the BI halves) gate AllReduce/APPLY.
+  const auto& grad_tasks = split_bw ? bww_tasks : bw_tasks;
   for (int i = 0; i < num_stages; ++i) {
     const StageInfo& si = info[static_cast<std::size_t>(i)];
     const Bytes weights = model_->ParamBytes(si.plan->layer_begin, si.plan->layer_end);
     sim::TaskId ar_id = sim::kInvalidTask;
-    if (si.plan->replication() > 1) {
+    if (si.exec->replication() > 1) {
       sim::Task ar;
       ar.name = "AR s" + std::to_string(i);
       ar.kind = sim::TaskKind::kAllReduce;
@@ -316,22 +413,22 @@ BuiltPipeline GraphBuilder::Build() const {
         lat.overlap_allreduce = true;
         planner::LatencyEstimator estimator(*model_, *cluster_, lat);
         ar.duration = estimator.ExposedAllReduce(si.plan->layer_begin, si.plan->layer_end,
-                                                 si.plan->devices, si.samples);
+                                                 si.exec->devices, si.samples);
       } else {
-        ar.duration = cost.AllReduce(si.plan->devices, weights);
+        ar.duration = cost.AllReduce(si.exec->devices, weights);
       }
       ar.stage = i;
       ar.bytes = weights;
       ar_id = graph.AddTask(std::move(ar));
       for (int m = 0; m < m_total; ++m) {
         for (sim::TaskId t :
-             bw_tasks[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]) {
+             grad_tasks[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]) {
           graph.AddEdge(t, ar_id);
         }
       }
     }
-    for (int rep = 0; rep < si.plan->replication(); ++rep) {
-      const topo::DeviceId dev = si.plan->devices[rep];
+    for (int rep = 0; rep < si.exec->replication(); ++rep) {
+      const topo::DeviceId dev = si.exec->devices[rep];
       sim::Task apply;
       apply.name = "APPLY s" + std::to_string(i) + " G" + std::to_string(dev);
       apply.kind = sim::TaskKind::kApply;
@@ -347,7 +444,7 @@ BuiltPipeline GraphBuilder::Build() const {
       } else {
         for (int m = 0; m < m_total; ++m) {
           for (sim::TaskId t :
-               bw_tasks[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]) {
+               grad_tasks[static_cast<std::size_t>(i)][static_cast<std::size_t>(m)]) {
             if (graph.task(t).device == dev) graph.AddEdge(t, apply_id);
           }
         }
@@ -356,12 +453,22 @@ BuiltPipeline GraphBuilder::Build() const {
   }
 
   // --- Memory pools -------------------------------------------------------
+  // A device's baseline is the sum over the stages it hosts — one stage for
+  // the linear schedules, a group's two chunks for the V shapes.
   built.engine_options.pool_baselines.assign(static_cast<std::size_t>(num_devices), 0);
   built.engine_options.pool_capacities.assign(static_cast<std::size_t>(num_devices), 0);
   for (int i = 0; i < num_stages; ++i) {
     const StageInfo& si = info[static_cast<std::size_t>(i)];
-    for (topo::DeviceId d : si.plan->devices.devices()) {
-      built.engine_options.pool_baselines[static_cast<std::size_t>(d)] = si.baseline;
+    if (v_shape && HostStage(kind, i, num_stages) != i) continue;
+    Bytes baseline = si.baseline;
+    if (v_shape) {
+      const int partner = num_stages - 1 - i;
+      if (partner != i) {
+        baseline += info[static_cast<std::size_t>(partner)].baseline;
+      }
+    }
+    for (topo::DeviceId d : si.exec->devices.devices()) {
+      built.engine_options.pool_baselines[static_cast<std::size_t>(d)] = baseline;
       if (options_.enforce_memory_capacity) {
         built.engine_options.pool_capacities[static_cast<std::size_t>(d)] =
             cluster_->device().memory;

@@ -1,6 +1,8 @@
 #include "runtime/schedule.h"
 
 #include <algorithm>
+#include <cctype>
+#include <string>
 
 #include "common/error.h"
 
@@ -10,6 +12,9 @@ const char* ToString(ScheduleKind kind) {
   switch (kind) {
     case ScheduleKind::kDapple: return "DAPPLE";
     case ScheduleKind::kGPipe: return "GPipe";
+    case ScheduleKind::kDappleSplitBw: return "DAPPLE-2BP";
+    case ScheduleKind::kVMin: return "V-Min";
+    case ScheduleKind::kVHalf: return "V-Half";
   }
   return "?";
 }
@@ -22,6 +27,145 @@ const char* ToString(WarmupPolicy policy) {
   return "?";
 }
 
+const std::vector<ScheduleKind>& AllScheduleKinds() {
+  static const std::vector<ScheduleKind> kinds = {
+      ScheduleKind::kDapple, ScheduleKind::kGPipe, ScheduleKind::kDappleSplitBw,
+      ScheduleKind::kVMin, ScheduleKind::kVHalf};
+  return kinds;
+}
+
+bool ParseScheduleKind(std::string_view name, ScheduleKind* kind) {
+  // Canonical form: lowercase with separators dropped, so "V-Min", "v_min"
+  // and "vmin" all resolve the same way.
+  std::string canon;
+  canon.reserve(name.size());
+  for (char c : name) {
+    if (c == '-' || c == '_' || c == ' ') continue;
+    canon += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (canon == "dapple" || canon == "1f1b") {
+    *kind = ScheduleKind::kDapple;
+  } else if (canon == "gpipe") {
+    *kind = ScheduleKind::kGPipe;
+  } else if (canon == "dapple2bp" || canon == "2bp" || canon == "splitbw") {
+    *kind = ScheduleKind::kDappleSplitBw;
+  } else if (canon == "vmin") {
+    *kind = ScheduleKind::kVMin;
+  } else if (canon == "vhalf") {
+    *kind = ScheduleKind::kVHalf;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool IsVShape(ScheduleKind kind) {
+  return kind == ScheduleKind::kVMin || kind == ScheduleKind::kVHalf;
+}
+
+int HostStage(ScheduleKind kind, int stage, int num_stages) {
+  DAPPLE_CHECK(stage >= 0 && stage < num_stages)
+      << "stage " << stage << " of " << num_stages;
+  if (!IsVShape(kind)) return stage;
+  return std::min(stage, num_stages - 1 - stage);
+}
+
+int NumGroups(ScheduleKind kind, int num_stages) {
+  DAPPLE_CHECK_GT(num_stages, 0);
+  if (!IsVShape(kind)) return num_stages;
+  return (num_stages + 1) / 2;
+}
+
+int VStashCap(ScheduleKind kind, int stage, int num_stages) {
+  DAPPLE_CHECK(IsVShape(kind)) << "stash caps exist only for V schedules";
+  DAPPLE_CHECK(stage >= 0 && stage < num_stages)
+      << "stage " << stage << " of " << num_stages;
+  const int remaining = num_stages - stage;
+  const int divisor = kind == ScheduleKind::kVMin ? 3 : 2;
+  return std::max(1, (remaining + divisor - 1) / divisor);
+}
+
+VSchedule BuildVSchedule(ScheduleKind kind, int num_stages, int num_micro_batches) {
+  DAPPLE_CHECK(IsVShape(kind));
+  DAPPLE_CHECK_GT(num_stages, 0);
+  DAPPLE_CHECK_GT(num_micro_batches, 0);
+  const int s = num_stages;
+  const int m = num_micro_batches;
+  const int groups = NumGroups(kind, s);
+
+  std::vector<int> cap(static_cast<std::size_t>(s));
+  for (int c = 0; c < s; ++c) {
+    cap[static_cast<std::size_t>(c)] = std::min(VStashCap(kind, c, s), m);
+  }
+  std::vector<int> done_fw(static_cast<std::size_t>(s), 0);
+  std::vector<int> done_bw(static_cast<std::size_t>(s), 0);
+
+  VSchedule out;
+  out.group_orders.resize(static_cast<std::size_t>(groups));
+  out.in_flight.assign(static_cast<std::size_t>(s), 0);
+
+  auto fw_ready = [&](int c) {
+    const auto i = static_cast<std::size_t>(c);
+    return done_fw[i] < m && (c == 0 || done_fw[i - 1] > done_fw[i]) &&
+           done_fw[i] - done_bw[i] < cap[i];
+  };
+  auto bw_ready = [&](int c) {
+    const auto i = static_cast<std::size_t>(c);
+    return done_bw[i] < m && done_fw[i] > done_bw[i] &&
+           (c + 1 == s || done_bw[i + 1] > done_bw[i]);
+  };
+
+  long remaining = 2L * s * m;
+  // Every tick issues at least one step (see the deadlock argument in the
+  // header), so 2SM ticks suffice; the slack is a loud failure mode for a
+  // future cap/preference edit that breaks the invariant.
+  long tick_budget = 4L * s * m + 16;
+  std::vector<GroupStep> issued;
+  while (remaining > 0) {
+    DAPPLE_CHECK_GT(tick_budget--, 0) << "V schedule stalled (S=" << s << " M=" << m << ")";
+    issued.clear();
+    for (int g = 0; g < groups; ++g) {
+      const int early = g;
+      const int late = s - 1 - g;
+      int pick = -1;
+      bool backward = false;
+      // Backward before forward (frees a stash slot); the later-hosted
+      // chunk before the earlier (its backward unblocks the upstream
+      // backward chain, its forward is nearer the V bottom).
+      if (late != early && bw_ready(late)) {
+        pick = late;
+        backward = true;
+      } else if (bw_ready(early)) {
+        pick = early;
+        backward = true;
+      } else if (late != early && fw_ready(late)) {
+        pick = late;
+      } else if (fw_ready(early)) {
+        pick = early;
+      }
+      if (pick < 0) continue;
+      const auto i = static_cast<std::size_t>(pick);
+      const int micro = backward ? done_bw[i] : done_fw[i];
+      out.group_orders[static_cast<std::size_t>(g)].push_back({pick, backward, micro});
+      issued.push_back({pick, backward, micro});
+    }
+    // Readiness was judged against the tick-start state for every group;
+    // apply the tick's issues only now so a step cannot enable a same-tick
+    // successor (unit-time list-schedule semantics).
+    for (const GroupStep& step : issued) {
+      const auto i = static_cast<std::size_t>(step.stage);
+      if (step.is_backward) {
+        ++done_bw[i];
+      } else {
+        ++done_fw[i];
+        out.in_flight[i] = std::max(out.in_flight[i], done_fw[i] - done_bw[i]);
+      }
+      --remaining;
+    }
+  }
+  return out;
+}
+
 int WarmupDepth(const ScheduleOptions& options, int stage_index, int num_stages,
                 int num_micro_batches, int memory_limit) {
   DAPPLE_CHECK(stage_index >= 0 && stage_index < num_stages)
@@ -30,6 +174,11 @@ int WarmupDepth(const ScheduleOptions& options, int stage_index, int num_stages,
   if (options.kind == ScheduleKind::kGPipe) {
     // GPipe has no early backward: all M forwards are in flight.
     return num_micro_batches;
+  }
+  if (IsVShape(options.kind)) {
+    // The cap is an upper bound; the realized depth comes from
+    // BuildVSchedule (the greedy order may stay below the cap).
+    return std::min(VStashCap(options.kind, stage_index, num_stages), num_micro_batches);
   }
   int k = 0;
   if (options.warmup_override > 0) {
@@ -63,15 +212,33 @@ std::vector<ScheduleStep> StageOrder(const ScheduleOptions& options, int stage_i
     return order;
   }
 
+  if (IsVShape(options.kind)) {
+    // Chunk projection of the merged group order: each micro-batch once
+    // forward and once backward, in the global greedy order's sequence.
+    const VSchedule vs = BuildVSchedule(options.kind, num_stages, m);
+    const int g = HostStage(options.kind, stage_index, num_stages);
+    for (const GroupStep& step : vs.group_orders[static_cast<std::size_t>(g)]) {
+      if (step.stage != stage_index) continue;
+      order.push_back({step.is_backward, step.microbatch});
+    }
+    return order;
+  }
+
   const int k = WarmupDepth(options, stage_index, num_stages, m, memory_limit);
+  const bool split_bw = options.kind == ScheduleKind::kDappleSplitBw;
   // Warmup: K forwards.
   for (int i = 0; i < std::min(k, m); ++i) order.push_back({false, i});
-  // Steady: strict one-backward-one-forward round robin.
+  // Steady: strict one-backward-one-forward round robin. With the 2BP
+  // split, the backward-input half keeps 1F1B's slot and the weight half
+  // is deferred behind the next forward (the slot a full backward would
+  // have blocked), so the drain cascade runs on half-backwards.
   int next_fw = k;
   int next_bw = 0;
   while (next_bw < m) {
-    order.push_back({true, next_bw++});
+    order.push_back({true, next_bw});
     if (next_fw < m) order.push_back({false, next_fw++});
+    if (split_bw) order.push_back({true, next_bw, true});
+    ++next_bw;
   }
   return order;
 }

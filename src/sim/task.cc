@@ -6,6 +6,7 @@ const char* ToString(TaskKind kind) {
   switch (kind) {
     case TaskKind::kForward: return "FW";
     case TaskKind::kBackward: return "BW";
+    case TaskKind::kBackwardWeight: return "BWW";
     case TaskKind::kRecompute: return "RC";
     case TaskKind::kTransfer: return "TX";
     case TaskKind::kAllReduce: return "AR";
@@ -19,6 +20,7 @@ bool IsComputeKind(TaskKind kind) {
   switch (kind) {
     case TaskKind::kForward:
     case TaskKind::kBackward:
+    case TaskKind::kBackwardWeight:
     case TaskKind::kRecompute:
     case TaskKind::kApply:
       return true;

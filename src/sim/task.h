@@ -21,7 +21,8 @@ inline constexpr TaskId kInvalidTask = -1;
 /// considers compute kinds only) and trace rendering.
 enum class TaskKind {
   kForward,
-  kBackward,
+  kBackward,        // full backward, or the backward-input half under 2BP
+  kBackwardWeight,  // deferred backward-weight half (2BP split schedules)
   kRecompute,
   kTransfer,   // cross-stage activation / gradient movement
   kAllReduce,  // gradient synchronization across replicas

@@ -11,8 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <vector>
 
 #include "check/fuzz.h"
+#include "runtime/schedule.h"
 
 namespace dapple {
 namespace {
@@ -28,6 +30,8 @@ TEST(ValidatorFuzzTest, RandomConfigsSatisfyAllInvariants) {
 
   long latency_checked = 0;
   long peak_checked = 0;
+  const auto& all_kinds = runtime::AllScheduleKinds();
+  std::vector<long> kind_counts(all_kinds.size(), 0);
   for (long i = 0; i < iterations; ++i) {
     const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
     const check::FuzzCase c = check::MakeFuzzCase(seed);
@@ -37,11 +41,24 @@ TEST(ValidatorFuzzTest, RandomConfigsSatisfyAllInvariants) {
     EXPECT_GT(out.num_tasks, 0) << c.Describe();
     latency_checked += out.checked_latency ? 1 : 0;
     peak_checked += out.checked_peak ? 1 : 0;
+    for (std::size_t k = 0; k < all_kinds.size(); ++k) {
+      if (out.kind == all_kinds[k]) ++kind_counts[k];
+    }
   }
   // The generator must keep exercising both differentials, not just the
-  // validator (a distribution drift here would silently gut the test).
-  EXPECT_GE(latency_checked, iterations / 10);
+  // validator (a distribution drift here would silently gut the test). The
+  // latency bracket only fires on split-mode DAPPLE cases without a warmup
+  // override, so its floor is one in twenty now that the kind draw is
+  // uniform over five families.
+  EXPECT_GE(latency_checked, iterations / 20);
   EXPECT_GE(peak_checked, iterations / 10);
+  // Every schedule family must appear; a sweep that silently drops one
+  // (e.g. a biased kind draw) guts the coverage this test claims.
+  for (std::size_t k = 0; k < all_kinds.size(); ++k) {
+    EXPECT_GE(kind_counts[k], iterations / 20)
+        << "schedule kind " << runtime::ToString(all_kinds[k])
+        << " underrepresented in " << iterations << " cases";
+  }
 }
 
 TEST(ValidatorFuzzTest, CasesAreDeterministicInTheSeed) {

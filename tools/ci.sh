@@ -12,11 +12,12 @@
 #                    randomized sweeps and the `-L golden` byte-stability
 #                    tests (pushes to main)
 #   perf-smoke     — `ctest -L perf-smoke`: the planner and simulator
-#                    determinism sweeps plus the --quick planner-scaling
-#                    and sim-engine benches (seconds; runs on the plain
-#                    tree only, sanitizers would distort the timing
-#                    columns — the sweeps themselves also run under ASan
-#                    in the unit tier)
+#                    determinism sweeps, the --quick planner-scaling and
+#                    sim-engine benches, and a reduced schedule-family
+#                    fuzz sweep covering every ScheduleKind (seconds;
+#                    runs on the plain tree only, sanitizers would
+#                    distort the timing columns — the sweeps themselves
+#                    also run under ASan in the unit tier)
 #
 # Wider sweeps stay opt-in: `DAPPLE_FUZZ_ITERATIONS=100000 ctest -L fuzz`,
 # or `tools/dapple_fuzz --iterations 100000` / `--faults` directly.

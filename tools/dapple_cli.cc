@@ -5,12 +5,12 @@
 //   dapple plan <model> <config A|B|C> <servers> <gbs> [--save FILE]
 //       Run the planner and print (optionally save) the chosen plan.
 //   dapple run <model> <config> <servers> <gbs>
-//              [--plan FILE] [--schedule dapple|gpipe] [--recompute]
+//              [--plan FILE] [--schedule dapple|gpipe|dapple-2bp|v-min|v-half] [--recompute]
 //              [--gantt] [--trace FILE.json]
 //       Execute one iteration on the simulated cluster; optionally render
 //       an ASCII Gantt chart or export a chrome://tracing JSON file.
 //   dapple report <model> <config> <servers> <gbs>
-//              [--plan FILE] [--schedule dapple|gpipe] [--recompute]
+//              [--plan FILE] [--schedule dapple|gpipe|dapple-2bp|v-min|v-half] [--recompute]
 //              [--json FILE] [--peak-vs-m M1,M2,...]
 //   dapple report --fig3 [--json FILE]
 //       Execute one iteration and print the structured iteration report
@@ -49,10 +49,10 @@ int Usage() {
                "              [--planner-threads N]  (0 = hardware concurrency,\n"
                "               1 = serial; the plan is identical at every N)\n"
                "  dapple run  <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
-               "              [--schedule dapple|gpipe] [--recompute] [--gantt]\n"
+               "              [--schedule dapple|gpipe|dapple-2bp|v-min|v-half] [--recompute] [--gantt]\n"
                "              [--trace FILE.json]\n"
                "  dapple report <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
-               "              [--schedule dapple|gpipe] [--recompute]\n"
+               "              [--schedule dapple|gpipe|dapple-2bp|v-min|v-half] [--recompute]\n"
                "              [--json FILE] [--peak-vs-m M1,M2,...]\n"
                "              [--sim-threads N]\n"
                "  dapple report --fig3 [--json FILE]\n"
@@ -134,9 +134,10 @@ int CmdRun(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
-      const std::string kind = argv[++i];
-      options.schedule.kind = kind == "gpipe" ? runtime::ScheduleKind::kGPipe
-                                              : runtime::ScheduleKind::kDapple;
+      if (!runtime::ParseScheduleKind(argv[++i], &options.schedule.kind)) {
+        std::fprintf(stderr, "unknown schedule kind '%s'\n", argv[i]);
+        return Usage();
+      }
     } else if (std::strcmp(argv[i], "--recompute") == 0) {
       options.schedule.recompute = true;
     } else if (std::strcmp(argv[i], "--gantt") == 0) {
@@ -261,9 +262,10 @@ int CmdReport(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
-      const std::string kind = argv[++i];
-      options.schedule.kind = kind == "gpipe" ? runtime::ScheduleKind::kGPipe
-                                              : runtime::ScheduleKind::kDapple;
+      if (!runtime::ParseScheduleKind(argv[++i], &options.schedule.kind)) {
+        std::fprintf(stderr, "unknown schedule kind '%s'\n", argv[i]);
+        return Usage();
+      }
     } else if (std::strcmp(argv[i], "--recompute") == 0) {
       options.schedule.recompute = true;
     } else if (std::strcmp(argv[i], "--peak-vs-m") == 0 && i + 1 < argc) {

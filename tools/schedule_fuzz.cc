@@ -152,6 +152,9 @@ int main(int argc, char** argv) {
   long latency_checked = 0, peak_checked = 0;
   double max_over_single = 0.0, max_over_multi = 0.0, max_under = 0.0;
   std::uint64_t worst_multi_seed = 0;
+  // Per-kind case counts, so a sweep cannot silently skip a family.
+  const auto& all_kinds = runtime::AllScheduleKinds();
+  std::vector<long> kind_counts(all_kinds.size(), 0);
   // Aggregation runs over the slot-indexed outcomes in seed order, so the
   // calibration stats never depend on worker scheduling.
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -164,6 +167,9 @@ int main(int argc, char** argv) {
     }
     latency_checked += out.checked_latency ? 1 : 0;
     peak_checked += out.checked_peak ? 1 : 0;
+    for (std::size_t k = 0; k < all_kinds.size(); ++k) {
+      if (out.kind == all_kinds[k]) ++kind_counts[k];
+    }
     if (out.checked_latency && out.simulated_makespan > 0.0 && out.analytic_latency > 0.0) {
       const double over = out.analytic_latency / out.simulated_makespan;
       if (out.num_stages == 1) {
@@ -180,6 +186,12 @@ int main(int argc, char** argv) {
               iterations, static_cast<unsigned long long>(base),
               static_cast<unsigned long long>(base + iterations - 1),
               latency_checked, peak_checked);
+  std::printf("cases per schedule kind:");
+  for (std::size_t k = 0; k < all_kinds.size(); ++k) {
+    std::printf("%s %s=%ld", k ? "," : "", runtime::ToString(all_kinds[k]),
+                kind_counts[k]);
+  }
+  std::printf("\n");
   if (latency_checked > 0) {
     std::printf("max analytic/sim: %.4f (single-stage), %.4f (multi-stage, seed %llu); "
                 "max sim/analytic: %.4f\n",
