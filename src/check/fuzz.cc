@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/units.h"
 #include "fault/degrade.h"
 #include "planner/dp_planner.h"
 #include "planner/latency.h"
@@ -169,6 +170,144 @@ std::string FuzzOutcome::Summary() const {
        << " B at 2M\n";
   }
   return os.str();
+}
+
+std::string MemoryCapFuzzCase::Describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " model=" << model.num_layers() << "L/pmb"
+     << model.profile_micro_batch() << " cluster=" << cluster.name() << "("
+     << cluster.num_devices() << ") gbs=" << global_batch_size << " "
+     << runtime::ToString(kind) << " cap=" << FormatBytes(memory_cap)
+     << " recompute=" << planner::ToString(recompute);
+  return os.str();
+}
+
+MemoryCapFuzzCase MakeMemoryCapFuzzCase(std::uint64_t seed) {
+  // The memory-cap mode owns its own salted stream (same rationale as the
+  // fault stream): draws added here can never shift the schedule/fault
+  // streams and silently rewrite their pinned regression seeds.
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x589965cc75374cc3ull);
+  model::ModelProfile model = RandomModel(rng);
+  // Small clusters only: every seed runs the real planner (twice — once to
+  // scale the cap, once under it), and the DP search is exponential in
+  // device count.
+  topo::Cluster cluster = [&] {
+    switch (rng.UniformInt(0, 2)) {
+      case 0: return topo::MakeConfigB(static_cast<int>(rng.UniformInt(2, 4)));
+      case 1: return topo::MakeConfigC(static_cast<int>(rng.UniformInt(2, 4)));
+      default:
+        return topo::Cluster("fuzz-2x2", 2, 2, topo::DeviceSpec{},
+                             topo::InterconnectSpec{});
+    }
+  }();
+  const long gbs = rng.UniformInt(1, 6) * 4 * model.profile_micro_batch();
+  const auto& kinds = runtime::AllScheduleKinds();
+  const runtime::ScheduleKind kind = kinds[static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(kinds.size()) - 1))];
+  const planner::RecomputePolicy policy = rng.Bernoulli(0.7)
+                                              ? planner::RecomputePolicy::kAuto
+                                              : planner::RecomputePolicy::kOff;
+  const double factor = rng.Uniform(0.25, 1.3);
+
+  // Scale the cap off the uncapped plan's family peak so the draw lands on
+  // both sides of feasibility; fall back to the device memory if even the
+  // uncapped search is structurally infeasible (the capped run will then
+  // throw the same way, which is a valid outcome).
+  Bytes reference_peak = cluster.device().memory;
+  try {
+    planner::PlannerOptions po;
+    po.global_batch_size = gbs;
+    po.latency.check_memory = false;
+    po.latency.schedule_kind = kind;
+    po.keep_alternatives = 0;
+    po.num_threads = 1;
+    const planner::PlanResult uncapped =
+        planner::DapplePlanner(model, cluster, po).Plan();
+    if (uncapped.estimate.max_peak_memory > 0) {
+      reference_peak = uncapped.estimate.max_peak_memory;
+    }
+  } catch (const Error&) {
+  }
+  const Bytes cap =
+      std::max<Bytes>(1, static_cast<Bytes>(factor * static_cast<double>(reference_peak)));
+  return MemoryCapFuzzCase{seed, std::move(model), std::move(cluster),
+                           kind, gbs,              cap,
+                           policy};
+}
+
+std::string MemoryCapFuzzOutcome::Summary() const {
+  if (ok()) return "";
+  std::ostringstream os;
+  os << "memory-cap fuzz case failed (reproduce with seed " << seed << "):\n"
+     << report.ToString();
+  return os.str();
+}
+
+MemoryCapFuzzOutcome RunMemoryCapFuzzCase(const MemoryCapFuzzCase& c) {
+  MemoryCapFuzzOutcome out;
+  out.seed = c.seed;
+  out.kind = c.kind;
+  out.memory_cap = c.memory_cap;
+
+  planner::PlannerOptions po;
+  po.global_batch_size = c.global_batch_size;
+  po.memory_cap = c.memory_cap;
+  po.recompute = c.recompute;
+  po.latency.schedule_kind = c.kind;
+  po.keep_alternatives = 0;
+  po.num_threads = 1;
+
+  planner::PlanResult planned;
+  try {
+    planned = planner::DapplePlanner(c.model, c.cluster, po).Plan();
+  } catch (const Error& e) {
+    // Declared infeasible: the contract allows refusal, never an OOMing
+    // plan.
+    out.infeasible_reason = e.what();
+    return out;
+  }
+  out.planned = true;
+  out.analytic_peak = planned.estimate.max_peak_memory;
+  for (const planner::StagePlan& s : planned.plan.stages) {
+    if (c.recompute == planner::RecomputePolicy::kAll || s.recompute) {
+      ++out.recompute_stages;
+    }
+  }
+  if (out.analytic_peak > c.memory_cap) {
+    out.report.violations.push_back(
+        {"planner-cap", "planner accepted a plan whose analytic peak " +
+                            FormatBytes(out.analytic_peak) + " exceeds the cap " +
+                            FormatBytes(c.memory_cap)});
+  }
+
+  runtime::BuildOptions bo;
+  bo.global_batch_size = c.global_batch_size;
+  bo.schedule.kind = c.kind;
+  bo.schedule.recompute = c.recompute == planner::RecomputePolicy::kAll;
+  bo.memory_cap = c.memory_cap;
+  bo.enforce_memory_capacity = true;
+  try {
+    runtime::GraphBuilder builder(c.model, c.cluster, planned.plan, bo);
+    const runtime::BuiltPipeline built = builder.Build();
+    const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
+    out.simulated_peak = result.MaxPeakMemory();
+
+    ScheduleValidator validator(planned.plan, bo);
+    ValidationReport report = validator.Validate(built, result);
+    for (Violation& v : report.violations) {
+      out.report.violations.push_back(std::move(v));
+    }
+    if (result.AnyOom()) {
+      out.report.violations.push_back(
+          {"memory-cap-oom", "simulated execution OOMed under the declared cap " +
+                                 FormatBytes(c.memory_cap) + " (simulated peak " +
+                                 FormatBytes(out.simulated_peak) + ")"});
+    }
+  } catch (const std::exception& e) {
+    out.report.violations.push_back(
+        {"exception", std::string("capped build/simulate threw: ") + e.what()});
+  }
+  return out;
 }
 
 std::string FaultFuzzCase::Describe() const {
@@ -370,6 +509,14 @@ std::vector<FuzzOutcome> RunFuzzSweep(const std::vector<std::uint64_t>& seeds,
   sim::BatchRunner runner({.threads = threads});
   return runner.Map<FuzzOutcome>(static_cast<int>(seeds.size()), [&](int i) {
     return RunFuzzSeed(seeds[static_cast<std::size_t>(i)]);
+  });
+}
+
+std::vector<MemoryCapFuzzOutcome> RunMemoryCapFuzzSweep(
+    const std::vector<std::uint64_t>& seeds, int threads) {
+  sim::BatchRunner runner({.threads = threads});
+  return runner.Map<MemoryCapFuzzOutcome>(static_cast<int>(seeds.size()), [&](int i) {
+    return RunMemoryCapFuzzSeed(seeds[static_cast<std::size_t>(i)]);
   });
 }
 

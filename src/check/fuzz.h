@@ -23,6 +23,7 @@
 #include "fault/recovery.h"
 #include "fault/script.h"
 #include "model/profile.h"
+#include "planner/dp_planner.h"
 #include "planner/plan.h"
 #include "runtime/graph_builder.h"
 #include "topo/cluster.h"
@@ -143,12 +144,73 @@ inline FaultFuzzOutcome RunFaultFuzzSeed(std::uint64_t seed) {
   return RunFaultFuzzCase(MakeFaultFuzzCase(seed));
 }
 
+/// One generated memory-cap planning configuration: a random model on a
+/// small cluster, a schedule family, a recompute policy, and a per-device
+/// cap drawn as a factor (0.25–1.3) of the family's uncapped peak, so the
+/// draws land on both sides of feasibility. Aggregate-constructed by
+/// MakeMemoryCapFuzzCase.
+struct MemoryCapFuzzCase {
+  std::uint64_t seed;
+  model::ModelProfile model;
+  topo::Cluster cluster;
+  runtime::ScheduleKind kind = runtime::ScheduleKind::kDapple;
+  long global_batch_size = 0;
+  Bytes memory_cap = 0;
+  planner::RecomputePolicy recompute = planner::RecomputePolicy::kAuto;
+
+  /// One-line description for failure messages and verbose logs.
+  std::string Describe() const;
+};
+
+/// Deterministically derives a memory-cap case from a seed, on its own
+/// salted side-stream so the schedule/fault fuzz streams (and their pinned
+/// regression seeds) stay bit-identical.
+MemoryCapFuzzCase MakeMemoryCapFuzzCase(std::uint64_t seed);
+
+/// The OOM-free guarantee, observed on one case: the planner either throws
+/// (declares the cap infeasible — allowed) or produces a plan whose
+/// analytic peak fits the cap AND whose capped simulated execution passes
+/// the full validator with zero OOM violations.
+struct MemoryCapFuzzOutcome {
+  std::uint64_t seed = 0;
+  runtime::ScheduleKind kind = runtime::ScheduleKind::kDapple;
+  ValidationReport report;
+
+  /// False when the planner threw; `infeasible_reason` then carries the
+  /// message. An infeasible declaration is a success, never a violation.
+  bool planned = false;
+  std::string infeasible_reason;
+
+  Bytes memory_cap = 0;
+  Bytes analytic_peak = 0;
+  Bytes simulated_peak = 0;
+  /// Stages the planner turned recompute on for (per-stage flags, or all
+  /// of them under RecomputePolicy::kAll).
+  int recompute_stages = 0;
+
+  bool ok() const { return report.ok(); }
+  /// Failure summary including the seed; empty when ok().
+  std::string Summary() const;
+};
+
+/// Runs one memory-cap case end to end (plan → build capped → simulate →
+/// validate).
+MemoryCapFuzzOutcome RunMemoryCapFuzzCase(const MemoryCapFuzzCase& c);
+
+inline MemoryCapFuzzOutcome RunMemoryCapFuzzSeed(std::uint64_t seed) {
+  return RunMemoryCapFuzzCase(MakeMemoryCapFuzzCase(seed));
+}
+
 /// Runs every seed through RunFuzzSeed on a sim::BatchRunner with
 /// `threads` workers (1 = inline serial, 0 = hardware concurrency).
 /// Outcome i corresponds to seeds[i] and every byte of it is identical at
 /// every thread count — each case derives all its state from its seed.
 std::vector<FuzzOutcome> RunFuzzSweep(const std::vector<std::uint64_t>& seeds,
                                       int threads = 1);
+
+/// Same driver for memory-cap cases (RunMemoryCapFuzzSeed).
+std::vector<MemoryCapFuzzOutcome> RunMemoryCapFuzzSweep(
+    const std::vector<std::uint64_t>& seeds, int threads = 1);
 
 /// Same driver for fault-recovery cases (RunFaultFuzzSeed).
 std::vector<FaultFuzzOutcome> RunFaultFuzzSweep(const std::vector<std::uint64_t>& seeds,

@@ -1,7 +1,11 @@
 #include "common/units.h"
 
 #include <array>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
 
 namespace dapple {
 
@@ -20,6 +24,39 @@ std::string FormatBytes(Bytes bytes) {
     std::snprintf(buf, sizeof(buf), "%.1f%s", value, kSuffix[idx]);
   }
   return buf;
+}
+
+Bytes ParseBytes(const std::string& text) {
+  const char* p = text.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(p, &end);
+  if (end == p || !(value >= 0.0)) {
+    throw Error("cannot parse byte size '" + text + "'");
+  }
+  std::string suffix;
+  for (const char* c = end; *c != '\0'; ++c) {
+    if (std::isspace(static_cast<unsigned char>(*c))) continue;
+    suffix += static_cast<char>(std::toupper(static_cast<unsigned char>(*c)));
+  }
+  // Normalize: strip a trailing "B" and an "I" of the binary notation, so
+  // "KIB" / "KB" / "K" all mean 1024.
+  if (!suffix.empty() && suffix.back() == 'B') suffix.pop_back();
+  if (!suffix.empty() && suffix.back() == 'I') suffix.pop_back();
+  double multiplier = 1.0;
+  if (suffix == "") {
+    multiplier = 1.0;
+  } else if (suffix == "K") {
+    multiplier = kKiB;
+  } else if (suffix == "M") {
+    multiplier = kMiB;
+  } else if (suffix == "G") {
+    multiplier = kGiB;
+  } else if (suffix == "T") {
+    multiplier = kGiB * 1024.0;
+  } else {
+    throw Error("unknown byte-size suffix in '" + text + "' (use B, KiB, MiB, GiB, TiB)");
+  }
+  return static_cast<Bytes>(value * multiplier);
 }
 
 std::string FormatTime(TimeSec seconds) {

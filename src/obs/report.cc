@@ -38,6 +38,8 @@ IterationReport BuildIterationReport(const runtime::BuiltPipeline& pipeline,
   report.schedule = runtime::ToString(pipeline.options.schedule.kind);
   report.replication = runtime::ToString(pipeline.options.replication);
   report.recompute = pipeline.options.schedule.recompute;
+  for (std::uint8_t rc : pipeline.stage_recompute) report.recompute_stages += rc ? 1 : 0;
+  report.memory_cap = pipeline.options.memory_cap;
   report.micro_batch_size = pipeline.micro_batch_size;
   report.num_micro_batches = pipeline.num_micro_batches;
   report.num_stages = static_cast<int>(pipeline.warmup_depths.size());
@@ -202,6 +204,13 @@ void WriteJson(JsonWriter& w, const IterationReport& r) {
   w.Field("schedule", r.schedule);
   w.Field("replication", r.replication);
   w.Field("recompute", r.recompute);
+  // Cap/per-stage-recompute fields only when in play, so reports of
+  // uncapped pipelines (including the goldens) are byte-identical to
+  // before these knobs existed.
+  if (r.memory_cap > 0 || r.recompute_stages > 0) {
+    w.Field("memory_cap", r.memory_cap);
+    w.Field("recompute_stages", r.recompute_stages);
+  }
   w.Field("micro_batch_size", r.micro_batch_size);
   w.Field("num_micro_batches", r.num_micro_batches);
   w.Field("num_stages", r.num_stages);
@@ -309,6 +318,12 @@ void WriteJson(JsonWriter& w, const IterationReport& r) {
     w.Field("cache_entries", ps.cache_entries);
     w.Field("cache_hit_rate", ps.cache_hit_rate());
     w.Field("cache_compute_seconds", ps.cache_compute_seconds);
+    if (ps.memory_cap > 0) {
+      w.Field("memory_cap", ps.memory_cap);
+      w.Field("memory_rejected", ps.memory_rejected);
+      w.Field("recompute_stages", ps.recompute_stages);
+      w.Field("fit_probes", ps.fit_probes);
+    }
     w.Field("wall_seconds", ps.wall_seconds);
     w.Key("shards").BeginArray();
     for (const CacheShardStats& shard : ps.shards) {
@@ -338,6 +353,11 @@ std::string ToText(const IterationReport& r) {
      << r.replication << (r.recompute ? "/recompute" : "") << " | M=" << r.num_micro_batches
      << " x mbs=" << r.micro_batch_size << " | " << r.num_stages << " stages on "
      << r.num_devices << " devices\n";
+  if (r.memory_cap > 0 || r.recompute_stages > 0) {
+    os << "memory cap " << (r.memory_cap > 0 ? FormatBytes(r.memory_cap) : "none")
+       << " | " << r.recompute_stages << "/" << r.num_stages
+       << " stages recompute\n";
+  }
   os << "bubble fraction " << AsciiTable::Num(100 * r.bubble_fraction, 1) << "% | throughput "
      << AsciiTable::Num(r.throughput, 2) << " samples/s | peak "
      << FormatBytes(r.max_peak_memory) << (r.oom ? " (OOM!)" : "") << "\n";

@@ -99,6 +99,12 @@ struct IterationReport {
   std::string schedule;     // "dapple" / "gpipe"
   std::string replication;  // "split" / "round-robin"
   bool recompute = false;
+  /// Stages that ran with activation recomputation (global flag or the
+  /// plan's per-stage flags; see BuiltPipeline::stage_recompute).
+  int recompute_stages = 0;
+  /// Per-device memory cap the pipeline was built under (0 = none; the
+  /// pools then carry the cluster's device memory).
+  Bytes memory_cap = 0;
   int micro_batch_size = 0;
   int num_micro_batches = 0;
   int num_stages = 0;

@@ -1,6 +1,7 @@
 #include "planner/dp_planner.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -68,6 +69,25 @@ struct SearchNode {
 
 }  // namespace
 
+const char* ToString(RecomputePolicy policy) {
+  switch (policy) {
+    case RecomputePolicy::kOff: return "off";
+    case RecomputePolicy::kAll: return "all";
+    case RecomputePolicy::kAuto: return "auto";
+  }
+  return "?";
+}
+
+RecomputePolicy ParseRecomputePolicy(const std::string& text) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "off") return RecomputePolicy::kOff;
+  if (lower == "all" || lower == "on") return RecomputePolicy::kAll;
+  if (lower == "auto") return RecomputePolicy::kAuto;
+  throw Error("unknown recompute policy '" + text + "' (off | all | auto)");
+}
+
 DapplePlanner::DapplePlanner(const model::ModelProfile& model, const topo::Cluster& cluster,
                              PlannerOptions options)
     : model_(&model), cluster_(&cluster), options_(options) {
@@ -75,11 +95,116 @@ DapplePlanner::DapplePlanner(const model::ModelProfile& model, const topo::Clust
 }
 
 PlanEstimate DapplePlanner::Evaluate(const ParallelPlan& plan) const {
-  LatencyEstimator estimator(*model_, *cluster_, options_.latency);
+  LatencyEstimator estimator(*model_, *cluster_, EffectiveLatencyOptions(
+                                 options_.recompute == RecomputePolicy::kAll));
   return estimator.Estimate(plan, options_.global_batch_size);
 }
 
+LatencyOptions DapplePlanner::EffectiveLatencyOptions(bool recompute_all) const {
+  LatencyOptions latency = options_.latency;
+  if (options_.memory_cap > 0) latency.memory_cap = options_.memory_cap;
+  if (recompute_all) latency.recompute = true;
+  return latency;
+}
+
 PlanResult DapplePlanner::Plan() const {
+  if (options_.recompute != RecomputePolicy::kAuto) {
+    return Search(EffectiveLatencyOptions(options_.recompute == RecomputePolicy::kAll));
+  }
+  // Auto: try without recomputation first — it is latency-free and most
+  // instances fit. DawnPiper-style fallback only when nothing fits.
+  try {
+    return Search(EffectiveLatencyOptions(false));
+  } catch (const Error&) {
+    // Fall through: rerun with recomputation on every stage (throws again
+    // if even that cannot fit), then trim to the cheapest subset.
+  }
+  PlanResult result = Search(EffectiveLatencyOptions(true));
+  const LatencyOptions plain = EffectiveLatencyOptions(false);
+  LatencyEstimator estimator(*model_, *cluster_, plain);
+  std::unique_ptr<StageCostCache> cache;
+  if (options_.use_stage_cache && cluster_->num_devices() <= kStageCacheMaxDevices) {
+    cache = std::make_unique<StageCostCache>(
+        static_cast<std::size_t>(std::max(1, options_.cache_shards)));
+    estimator.set_stage_cache(cache.get());
+  }
+  int probes = MinimizeRecompute(estimator, result.plan, result.estimate);
+  int recompute_stages = 0;
+  for (const StagePlan& s : result.plan.stages) recompute_stages += s.recompute ? 1 : 0;
+  // The alternatives feed the Session's simulator re-ranking; give each the
+  // same per-stage treatment so they stay comparable (and still fit).
+  for (auto& [alt_plan, alt_est] : result.alternatives) {
+    probes += MinimizeRecompute(estimator, alt_plan, alt_est);
+  }
+  result.stats.recompute_stages = recompute_stages;
+  result.stats.fit_probes = probes;
+  if (result.stats.memory_cap > 0) {
+    auto& metrics = obs::MetricsRegistry::Global();
+    metrics.counter("planner.cap.recompute_stages").Increment(recompute_stages);
+    metrics.counter("planner.cap.fit_probes").Increment(probes);
+  }
+  DAPPLE_LOG_INFO << "memory-cap fit: " << recompute_stages << "/"
+                  << result.plan.num_stages() << " stages recompute ("
+                  << probes << " fit probes)";
+  return result;
+}
+
+int DapplePlanner::MinimizeRecompute(const LatencyEstimator& estimator,
+                                     ParallelPlan& plan, PlanEstimate& estimate) const {
+  const int S = plan.num_stages();
+  // Latency penalty of checkpointing stage s is the replayed forward:
+  // recompute_overhead x F_s. Cheapest stages first, ties by stage index.
+  std::vector<TimeSec> penalty(static_cast<std::size_t>(S), 0.0);
+  for (const StageCost& sc : estimate.stages) {
+    if (!sc.is_comm && sc.comp_index >= 0 && sc.comp_index < S) {
+      penalty[static_cast<std::size_t>(sc.comp_index)] =
+          estimator.options().recompute_overhead * sc.forward;
+    }
+  }
+  std::vector<int> order(static_cast<std::size_t>(S));
+  for (int i = 0; i < S; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const TimeSec pa = penalty[static_cast<std::size_t>(a)];
+    const TimeSec pb = penalty[static_cast<std::size_t>(b)];
+    if (pa != pb) return pa < pb;
+    return a < b;
+  });
+
+  int probes = 0;
+  auto estimate_prefix = [&](int k) -> PlanEstimate {
+    for (int i = 0; i < S; ++i) plan.stages[static_cast<std::size_t>(i)].recompute = false;
+    for (int i = 0; i < k; ++i) {
+      plan.stages[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])].recompute =
+          true;
+    }
+    ++probes;
+    return estimator.Estimate(plan, options_.global_batch_size);
+  };
+
+  // Binary search the smallest feasible prefix. The predicate is monotone
+  // in practice (more checkpointed stages, less stash) but not provably so
+  // for single-layer stages, where the replay transient can exceed the
+  // saving — the final verification probe keeps the result sound either
+  // way, falling back to all-stage recomputation (known feasible: the
+  // all-recompute search produced this plan).
+  int lo = 0, hi = S;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (estimate_prefix(mid).feasible) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  PlanEstimate fitted = estimate_prefix(lo);
+  if (!fitted.feasible && lo < S) {
+    fitted = estimate_prefix(S);
+  }
+  estimate = fitted;
+  return probes;
+}
+
+PlanResult DapplePlanner::Search(const LatencyOptions& latency) const {
   const auto search_start = std::chrono::steady_clock::now();
   const int num_layers = model_->num_layers();
   const int num_devices = cluster_->num_devices();
@@ -87,7 +212,7 @@ PlanResult DapplePlanner::Plan() const {
       options_.max_stages > 0 ? options_.max_stages : num_devices;
   DAPPLE_CHECK_GT(num_devices, 0);
 
-  LatencyEstimator estimator(*model_, *cluster_, options_.latency);
+  LatencyEstimator estimator(*model_, *cluster_, latency);
   std::unique_ptr<StageCostCache> cache;
   if (options_.use_stage_cache && num_devices <= kStageCacheMaxDevices) {
     cache = std::make_unique<StageCostCache>(
@@ -120,10 +245,12 @@ PlanResult DapplePlanner::Plan() const {
   best.estimate.latency = std::numeric_limits<TimeSec>::infinity();
   best.stats.threads =
       pool == nullptr ? 1 : static_cast<int>(pool->num_threads());
+  best.stats.memory_cap = latency.memory_cap;
   // Track the best infeasible plan too so error messages are informative.
   std::string last_infeasible;
   long evaluated = 0;
   long pruned = 0;
+  long memory_rejected = 0;
 
   // Top-k distinct feasible candidates for simulator re-ranking. The
   // signature set mirrors `alternatives` so a merge is one set lookup, not
@@ -186,6 +313,7 @@ PlanResult DapplePlanner::Plan() const {
                    const std::string& sig) -> std::optional<double> {
     ++evaluated;
     if (!est.feasible) {
+      if (est.memory_limited) ++memory_rejected;
       last_infeasible = est.infeasible_reason;
       return std::nullopt;
     }
@@ -374,6 +502,7 @@ PlanResult DapplePlanner::Plan() const {
 
   best.stats.candidates_evaluated = evaluated;
   best.stats.candidates_pruned = pruned;
+  best.stats.memory_rejected = memory_rejected;
   if (cache) {
     const CacheShardStats totals = cache->TotalStats();
     best.stats.cache_hits = totals.hits;
@@ -423,6 +552,10 @@ PlanResult DapplePlanner::Plan() const {
     std::ostringstream os;
     os << "no feasible plan for " << model_->name() << " on " << cluster_->name() << " ("
        << num_devices << " devices)";
+    if (latency.memory_cap > 0) {
+      os << " under memory cap " << FormatBytes(latency.memory_cap)
+         << (latency.recompute ? " with recompute" : "");
+    }
     if (!last_infeasible.empty()) os << ": " << last_infeasible;
     throw Error(os.str());
   }

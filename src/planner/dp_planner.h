@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -18,6 +19,24 @@
 #include "planner/stage_cache.h"
 
 namespace dapple::planner {
+
+/// How the planner may use activation recomputation (§II-A) to fit a
+/// memory cap.
+enum class RecomputePolicy {
+  /// Never recompute (a cap can still reject placements).
+  kOff,
+  /// Recompute on every stage of every candidate.
+  kAll,
+  /// Search without recomputation first; when nothing fits the cap, rerun
+  /// with recomputation everywhere and then binary-search the cheapest
+  /// per-stage subset (lowest latency penalty first) that still fits.
+  kAuto,
+};
+
+const char* ToString(RecomputePolicy policy);
+/// Parses "off" | "all" | "on" | "auto" (case-insensitive); throws on
+/// anything else.
+RecomputePolicy ParseRecomputePolicy(const std::string& text);
 
 struct PlannerOptions {
   long global_batch_size = 0;
@@ -34,6 +53,13 @@ struct PlannerOptions {
   /// Ablation hook: restrict the device-placement search to a subset of
   /// the three policies. Empty = all (the paper's full search space).
   std::vector<topo::PlacementPolicy> policies;
+  /// Per-device memory cap in bytes; 0 = the cluster's device memory.
+  /// Overrides latency.memory_cap when set. Same boundary convention as
+  /// sim::MemoryPool::oom(): a candidate whose estimated peak equals the
+  /// cap is feasible; one byte over is rejected.
+  Bytes memory_cap = 0;
+  /// Recomputation knob for fitting under the cap (see RecomputePolicy).
+  RecomputePolicy recompute = RecomputePolicy::kOff;
   LatencyOptions latency;
   /// Worker threads for the subproblem-parallel search: 0 = the shared
   /// pool (sized to hardware concurrency), 1 = fully serial in the calling
@@ -67,8 +93,11 @@ class DapplePlanner {
   DapplePlanner(const model::ModelProfile& model, const topo::Cluster& cluster,
                 PlannerOptions options);
 
-  /// Runs the search and returns the best feasible plan. Throws when no
-  /// feasible plan exists (model cannot fit the cluster at all).
+  /// Runs the search and returns the best feasible plan. Under
+  /// RecomputePolicy::kAuto a memory-infeasible search is retried with
+  /// recomputation everywhere, then trimmed to the cheapest per-stage
+  /// subset that still fits (StagePlan::recompute flags on the result).
+  /// Throws when no feasible plan exists even then.
   PlanResult Plan() const;
 
   /// Evaluates a fully specified plan with this planner's latency options
@@ -76,6 +105,21 @@ class DapplePlanner {
   PlanEstimate Evaluate(const ParallelPlan& plan) const;
 
  private:
+  /// Effective estimator options: options_.latency with the planner-level
+  /// memory cap folded in (and recompute forced on when `recompute_all`).
+  LatencyOptions EffectiveLatencyOptions(bool recompute_all) const;
+
+  /// One full DP search at fixed latency options.
+  PlanResult Search(const LatencyOptions& latency) const;
+
+  /// Turns an all-recompute plan into the cheapest per-stage recompute
+  /// subset that still fits: stages sorted by latency penalty
+  /// (recompute_overhead x F_s, ties by index), smallest feasible prefix
+  /// found by binary search, re-estimated without the global flag. Returns
+  /// the number of estimator probes spent.
+  int MinimizeRecompute(const LatencyEstimator& estimator, ParallelPlan& plan,
+                        PlanEstimate& estimate) const;
+
   const model::ModelProfile* model_;
   const topo::Cluster* cluster_;
   PlannerOptions options_;

@@ -132,11 +132,11 @@ int LatencyEstimator::ChoosePivot(const std::vector<StageCost>& stages,
 }
 
 Bytes LatencyEstimator::StagePeakMemory(const StagePlan& stage, double samples,
-                                        int warmup_depth) const {
+                                        int warmup_depth, bool recompute) const {
   const Bytes baseline = model_->BaselineMemory(stage.layer_begin, stage.layer_end);
   Bytes per_micro;
   Bytes transient = 0;
-  if (options_.recompute) {
+  if (recompute) {
     per_micro = model_->CheckpointMemory(stage.layer_begin, stage.layer_end, samples);
     // While a backward pass replays one layer block, that block's full
     // activation set is transiently resident.
@@ -146,6 +146,74 @@ Bytes LatencyEstimator::StagePeakMemory(const StagePlan& stage, double samples,
     per_micro = model_->ActivationMemory(stage.layer_begin, stage.layer_end, samples);
   }
   return baseline + static_cast<Bytes>(warmup_depth) * per_micro + transient;
+}
+
+Bytes LatencyEstimator::EffectiveCapacity() const {
+  return options_.memory_cap > 0 ? options_.memory_cap : cluster_->device().memory;
+}
+
+Bytes LatencyEstimator::FamilyPeakMemory(runtime::ScheduleKind kind,
+                                         const ParallelPlan& plan,
+                                         const MicroBatching& mb) const {
+  const int S = plan.num_stages();
+  const int M = mb.num_micro_batches;
+  // Per-stage stash piece: baseline + K x (activation | checkpoint) +
+  // recompute transient, memoized in the stage cache. Stage i's samples and
+  // replication come from its host group (the stage itself for the linear
+  // families; chunk folding for the V shapes).
+  auto piece = [&](int i, int k) -> Bytes {
+    const StagePlan& stage = plan.stages[static_cast<std::size_t>(i)];
+    const StagePlan& host =
+        plan.stages[static_cast<std::size_t>(runtime::HostStage(kind, i, S))];
+    const double samples =
+        static_cast<double>(mb.micro_batch_size) / host.replication();
+    const bool rc = options_.recompute || stage.recompute;
+    auto compute_memory = [&]() -> StageCostValue {
+      return {StageCost{}, StagePeakMemory(stage, samples, k, rc)};
+    };
+    return cache_ ? cache_
+                        ->GetOrCompute(
+                            StageCostCache::MemoryKey(stage.layer_begin, stage.layer_end,
+                                                      host.replication(),
+                                                      mb.micro_batch_size, k, rc),
+                            compute_memory)
+                        .bytes
+                  : compute_memory().bytes;
+  };
+
+  Bytes peak = 0;
+  switch (kind) {
+    case runtime::ScheduleKind::kGPipe:
+      // GPipe stashes every micro-batch before the first backward.
+      for (int i = 0; i < S; ++i) peak = std::max(peak, piece(i, M));
+      break;
+    case runtime::ScheduleKind::kDapple:
+    case runtime::ScheduleKind::kDappleSplitBw:
+      // 1F1B warmup policy PA: K_i = min(S - i, M); 2BP holds one extra
+      // transient stash until its deferred weight half frees it.
+      for (int i = 0; i < S; ++i) {
+        const int k = std::min(S - i, M) +
+                      (kind == runtime::ScheduleKind::kDappleSplitBw ? 1 : 0);
+        peak = std::max(peak, piece(i, k));
+      }
+      break;
+    case runtime::ScheduleKind::kVMin:
+    case runtime::ScheduleKind::kVHalf: {
+      // Chunk c folds onto group min(c, S-1-c); a group's devices hold both
+      // hosted chunks' stashes, each capped by its VStashCap.
+      const int groups = runtime::NumGroups(kind, S);
+      for (int g = 0; g < groups; ++g) {
+        const int late = S - 1 - g;
+        Bytes p = piece(g, std::min(runtime::VStashCap(kind, g, S), M));
+        if (late != g) {
+          p += piece(late, std::min(runtime::VStashCap(kind, late, S), M));
+        }
+        peak = std::max(peak, p);
+      }
+      break;
+    }
+  }
+  return peak;
 }
 
 ScheduleFamilyEstimate LatencyEstimator::EstimateFamily(runtime::ScheduleKind kind,
@@ -166,12 +234,11 @@ ScheduleFamilyEstimate LatencyEstimator::EstimateFamily(runtime::ScheduleKind ki
   const int S = plan.num_stages();
   const int M = mb.num_micro_batches;
 
-  // Per-chunk compute costs and memory pieces. For the V shapes chunk c
-  // runs on its host group's devices, so its samples/speed come from there.
+  // Per-chunk compute costs. For the V shapes chunk c runs on its host
+  // group's devices, so its samples/speed come from there. The memory side
+  // lives in FamilyPeakMemory (shared with Estimate's feasibility check).
   std::vector<TimeSec> fwd(static_cast<std::size_t>(S)), bwd(static_cast<std::size_t>(S)),
       bwd_raw(static_cast<std::size_t>(S));
-  std::vector<Bytes> base(static_cast<std::size_t>(S)), act(static_cast<std::size_t>(S)),
-      trans(static_cast<std::size_t>(S));
   for (int i = 0; i < S; ++i) {
     const StagePlan& stage = plan.stages[static_cast<std::size_t>(i)];
     const StagePlan& host =
@@ -187,14 +254,8 @@ ScheduleFamilyEstimate LatencyEstimator::EstimateFamily(runtime::ScheduleKind ki
     bwd_raw[idx] =
         model_->BackwardTime(stage.layer_begin, stage.layer_end, samples, speed);
     bwd[idx] = bwd_raw[idx];
-    if (options_.recompute) bwd[idx] += options_.recompute_overhead * fwd[idx];
-    base[idx] = model_->BaselineMemory(stage.layer_begin, stage.layer_end);
-    if (options_.recompute) {
-      act[idx] = model_->CheckpointMemory(stage.layer_begin, stage.layer_end, samples);
-      trans[idx] = model_->MaxLayerActivationMemory(stage.layer_begin, stage.layer_end,
-                                                    samples);
-    } else {
-      act[idx] = model_->ActivationMemory(stage.layer_begin, stage.layer_end, samples);
+    if (options_.recompute || stage.recompute) {
+      bwd[idx] += options_.recompute_overhead * fwd[idx];
     }
   }
   TimeSec sum_f = 0.0, sum_b = 0.0, max_f = 0.0, max_b = 0.0, max_round = 0.0;
@@ -208,15 +269,9 @@ ScheduleFamilyEstimate LatencyEstimator::EstimateFamily(runtime::ScheduleKind ki
   }
 
   const double m1 = static_cast<double>(M - 1);
-  Bytes peak = 0;
   switch (kind) {
     case runtime::ScheduleKind::kGPipe: {
       est.latency = sum_f + m1 * max_f + sum_b + m1 * max_b;
-      for (int i = 0; i < S; ++i) {
-        const auto idx = static_cast<std::size_t>(i);
-        peak = std::max(peak,
-                        base[idx] + static_cast<Bytes>(M) * act[idx] + trans[idx]);
-      }
       break;
     }
     case runtime::ScheduleKind::kDapple:
@@ -232,12 +287,6 @@ ScheduleFamilyEstimate LatencyEstimator::EstimateFamily(runtime::ScheduleKind ki
       }
       if (split_bw) drain += 0.5 * bwd_raw[0];
       est.latency = sum_f + m1 * max_round + drain;
-      for (int i = 0; i < S; ++i) {
-        const auto idx = static_cast<std::size_t>(i);
-        const int k = std::min(S - i, M) + (split_bw ? 1 : 0);
-        peak = std::max(peak,
-                        base[idx] + static_cast<Bytes>(k) * act[idx] + trans[idx]);
-      }
       break;
     }
     case runtime::ScheduleKind::kVMin:
@@ -251,23 +300,12 @@ ScheduleFamilyEstimate LatencyEstimator::EstimateFamily(runtime::ScheduleKind ki
           r += fwd[static_cast<std::size_t>(late)] + bwd[static_cast<std::size_t>(late)];
         }
         round = std::max(round, r);
-        Bytes p = base[static_cast<std::size_t>(g)] +
-                  static_cast<Bytes>(std::min(runtime::VStashCap(kind, g, S), M)) *
-                      act[static_cast<std::size_t>(g)] +
-                  trans[static_cast<std::size_t>(g)];
-        if (late != g) {
-          p += base[static_cast<std::size_t>(late)] +
-               static_cast<Bytes>(std::min(runtime::VStashCap(kind, late, S), M)) *
-                   act[static_cast<std::size_t>(late)] +
-               trans[static_cast<std::size_t>(late)];
-        }
-        peak = std::max(peak, p);
       }
       est.latency = sum_f + m1 * round + sum_b;
       break;
     }
   }
-  est.max_peak_memory = peak;
+  est.max_peak_memory = FamilyPeakMemory(kind, plan, mb);
 
   // Compute-only utilization over the device groups the family occupies.
   const int groups = runtime::NumGroups(kind, S);
@@ -304,6 +342,7 @@ PlanEstimate LatencyEstimator::Estimate(const ParallelPlan& plan,
     const StagePlan& stage = plan.stages[static_cast<std::size_t>(i)];
     const double samples =
         static_cast<double>(est.micro_batch_size) / stage.replication();
+    const bool stage_recompute = options_.recompute || stage.recompute;
     auto compute_comp = [&]() -> StageCostValue {
       // The slowest replica gates the stage: a split micro-batch completes
       // only when every slice has (heterogeneous clusters, stragglers).
@@ -317,7 +356,7 @@ PlanEstimate LatencyEstimator::Estimate(const ParallelPlan& plan,
           model_->ForwardTime(stage.layer_begin, stage.layer_end, samples, stage_speed);
       comp.backward =
           model_->BackwardTime(stage.layer_begin, stage.layer_end, samples, stage_speed);
-      if (options_.recompute) {
+      if (stage_recompute) {
         comp.backward += options_.recompute_overhead * comp.forward;
       }
       comp.allreduce_raw = stage.replication() > 1
@@ -333,7 +372,8 @@ PlanEstimate LatencyEstimator::Estimate(const ParallelPlan& plan,
         cache_ ? cache_
                      ->GetOrCompute(StageCostCache::CompKey(stage.layer_begin,
                                                             stage.layer_end, stage.devices,
-                                                            est.micro_batch_size),
+                                                            est.micro_batch_size,
+                                                            stage_recompute),
                                     compute_comp)
                      .cost
                : compute_comp().cost;
@@ -433,33 +473,20 @@ PlanEstimate LatencyEstimator::Estimate(const ParallelPlan& plan,
   latency_at(est.pivot, &est.warmup, &est.steady, &est.ending);
   est.speedup = SingleDeviceTime(global_batch_size) / est.latency;
 
-  // Memory feasibility under the DAPPLE schedule (warmup policy PA:
-  // K_i = min(S - i, M) over computation stages).
-  Bytes peak = 0;
-  for (int i = 0; i < num_comp; ++i) {
-    const StagePlan& stage = plan.stages[static_cast<std::size_t>(i)];
-    const double samples =
-        static_cast<double>(est.micro_batch_size) / stage.replication();
-    const int k = std::min(num_comp - i, M);
-    auto compute_memory = [&]() -> StageCostValue {
-      return {StageCost{}, StagePeakMemory(stage, samples, k)};
-    };
-    const Bytes stage_peak =
-        cache_ ? cache_
-                     ->GetOrCompute(StageCostCache::MemoryKey(stage.layer_begin,
-                                                              stage.layer_end,
-                                                              stage.replication(),
-                                                              est.micro_batch_size, k),
-                                    compute_memory)
-                     .bytes
-               : compute_memory().bytes;
-    peak = std::max(peak, stage_peak);
-  }
+  // Memory feasibility under the configured schedule family's stash
+  // discipline (DAPPLE warmup policy PA by default). Shares FamilyPeakMemory
+  // with EstimateFamily so cap semantics agree byte-for-byte, and uses the
+  // MemoryPool convention: peak == capacity fits, peak > capacity does not.
+  const Bytes peak = FamilyPeakMemory(options_.schedule_kind, plan, mb);
   est.max_peak_memory = peak;
-  if (options_.check_memory && peak > cluster_->device().memory) {
+  est.memory_capacity = EffectiveCapacity();
+  if (options_.check_memory && peak > est.memory_capacity) {
     est.feasible = false;
-    est.infeasible_reason = "peak memory " + FormatBytes(peak) + " exceeds device " +
-                            FormatBytes(cluster_->device().memory);
+    est.memory_limited = true;
+    est.infeasible_reason =
+        "peak memory " + FormatBytes(peak) + " exceeds " +
+        (options_.memory_cap > 0 ? "memory cap " : "device ") +
+        FormatBytes(est.memory_capacity);
   }
   return est;
 }

@@ -40,6 +40,10 @@ struct StageCost {
 struct PlanEstimate {
   bool feasible = true;
   std::string infeasible_reason;
+  /// True when infeasibility came from the memory check (peak exceeded the
+  /// per-device capacity); lets the planner count cap rejections apart
+  /// from structural infeasibility.
+  bool memory_limited = false;
 
   TimeSec latency = std::numeric_limits<TimeSec>::infinity();
   TimeSec warmup = 0.0;
@@ -54,8 +58,13 @@ struct PlanEstimate {
   int micro_batch_size = 0;
   int num_micro_batches = 0;
 
-  /// Estimated worst per-device peak memory under the DAPPLE schedule.
+  /// Estimated worst per-device peak memory under the schedule family the
+  /// estimator was configured with (LatencyOptions::schedule_kind; DAPPLE
+  /// by default).
   Bytes max_peak_memory = 0;
+  /// Per-device capacity the memory check compared against: the memory cap
+  /// when one was set, the cluster's device memory otherwise.
+  Bytes memory_capacity = 0;
 
   std::vector<StageCost> stages;
 
@@ -90,11 +99,26 @@ struct LatencyOptions {
   /// Enforce the per-device memory capacity (plans that do not fit are
   /// marked infeasible, e.g. DP for AmoebaNet-36).
   bool check_memory = true;
-  /// Re-computation (paper §II-A): stash only stage-boundary activations,
-  /// recompute the forward inside backward (+~20% backward-phase cost).
+  /// Per-device memory cap in bytes for the feasibility check; 0 means use
+  /// the cluster's device memory. Same boundary convention as
+  /// sim::MemoryPool::oom(): peak == cap is feasible, peak > cap is not.
+  Bytes memory_cap = 0;
+  /// Schedule family whose stash discipline the memory check models
+  /// (peak terms per family mirror EstimateFamily). Latency terms stay the
+  /// paper's DAPPLE objective regardless.
+  runtime::ScheduleKind schedule_kind = runtime::ScheduleKind::kDapple;
+  /// Re-computation on every stage (paper §II-A): stash only stage-boundary
+  /// activations, recompute the forward inside backward. Per-stage
+  /// recomputation rides StagePlan::recompute instead; a stage recomputes
+  /// when either flag is set.
   bool recompute = false;
-  /// Extra fraction of forward time charged to backward when recomputing.
-  double recompute_overhead = 0.75;
+  /// Extra fraction of *forward* time charged to backward when recomputing
+  /// (the replayed forward pass). The paper's §II-A figure — "recomputation
+  /// brings ~20% extra backward overhead" — translates to 0.4 here because
+  /// the zoo's profiles (and the paper's workloads) have backward ≈ 2x
+  /// forward: 0.4 x F = 0.2 x B. Calibrated against the simulator's
+  /// recompute path (see tests/memory_cap_test.cc).
+  double recompute_overhead = 0.4;
 };
 
 /// Micro-batching rule shared by the estimator and the runtime. The ideal
@@ -165,10 +189,22 @@ class LatencyEstimator {
   /// Formula 3: picks the pivot stage for an expanded stage list.
   static int ChoosePivot(const std::vector<StageCost>& stages, int num_micro_batches);
 
+  /// Worst per-device peak memory of `plan` under `kind`'s stash
+  /// discipline at the given micro-batching — the single peak model shared
+  /// by Estimate's feasibility check and EstimateFamily's frontier, so cap
+  /// semantics agree byte-for-byte. Honors per-stage recompute flags.
+  Bytes FamilyPeakMemory(runtime::ScheduleKind kind, const ParallelPlan& plan,
+                         const MicroBatching& mb) const;
+
+  /// Capacity the memory check compares against: options().memory_cap when
+  /// set, the cluster's device memory otherwise.
+  Bytes EffectiveCapacity() const;
+
  private:
-  /// Per-device peak memory of a stage under the DAPPLE schedule with
-  /// warmup depth K (activations of K micro-batches in flight).
-  Bytes StagePeakMemory(const StagePlan& stage, double samples, int warmup_depth) const;
+  /// Per-device peak memory of one stage holding `warmup_depth` stashes:
+  /// baseline + K x (activation | checkpoint) + recompute transient.
+  Bytes StagePeakMemory(const StagePlan& stage, double samples, int warmup_depth,
+                        bool recompute) const;
 
   const model::ModelProfile* model_;
   const topo::Cluster* cluster_;

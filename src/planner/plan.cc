@@ -62,8 +62,9 @@ std::string ParallelPlan::SplitString() const {
 std::string ParallelPlan::ToDetailedString() const {
   std::ostringstream os;
   for (const StagePlan& s : stages) {
-    os << "(" << s.layer_begin << ", " << s.layer_end << ") @ " << s.devices.ToString()
-       << "\n";
+    os << "(" << s.layer_begin << ", " << s.layer_end << ") @ " << s.devices.ToString();
+    if (s.recompute) os << " [recompute]";
+    os << "\n";
   }
   return os.str();
 }

@@ -23,6 +23,12 @@ struct StagePlan {
   topo::DeviceSet devices;
   /// Placement policy that produced the device set (reporting only).
   topo::PlacementPolicy policy = topo::PlacementPolicy::kFreshFirst;
+  /// Recompute (checkpoint) activations on this stage: the builder stashes
+  /// only the stage-boundary checkpoint and replays the forward before the
+  /// backward (§II-A). Set by the memory-constrained planner when the stage
+  /// must trade latency for peak memory; defaults off so existing plans and
+  /// serializations are unchanged.
+  bool recompute = false;
 
   int num_layers() const { return layer_end - layer_begin; }
   int replication() const { return devices.size(); }

@@ -13,6 +13,7 @@ std::string SerializePlan(const ParallelPlan& plan) {
   for (const StagePlan& s : plan.stages) {
     os << "stage: layers " << s.layer_begin << " " << s.layer_end << " devices";
     for (topo::DeviceId d : s.devices.devices()) os << " " << d;
+    if (s.recompute) os << " recompute";
     os << "\n";
   }
   return os.str();
@@ -51,8 +52,25 @@ ParallelPlan ParsePlan(const std::string& text) {
       DAPPLE_CHECK(static_cast<bool>(ls >> kw) && kw == "devices")
           << "line " << line_number << ": expected 'devices'";
       std::vector<topo::DeviceId> devices;
-      topo::DeviceId d;
-      while (ls >> d) devices.push_back(d);
+      std::string tok;
+      while (ls >> tok) {
+        if (tok == "recompute") {
+          stage.recompute = true;
+          DAPPLE_CHECK(!(ls >> tok))
+              << "line " << line_number << ": 'recompute' must be the last token";
+          break;
+        }
+        std::size_t pos = 0;
+        topo::DeviceId d = 0;
+        try {
+          d = static_cast<topo::DeviceId>(std::stoi(tok, &pos));
+        } catch (const std::exception&) {
+          pos = 0;
+        }
+        DAPPLE_CHECK(pos == tok.size())
+            << "line " << line_number << ": bad device id '" << tok << "'";
+        devices.push_back(d);
+      }
       DAPPLE_CHECK(!devices.empty()) << "line " << line_number << ": stage needs devices";
       stage.devices = topo::DeviceSet(std::move(devices));
       plan.stages.push_back(std::move(stage));

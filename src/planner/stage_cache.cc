@@ -17,12 +17,14 @@ std::uint64_t MaskOf(const topo::DeviceSet& devices) {
 }  // namespace
 
 StageCostKey StageCostCache::CompKey(int layer_begin, int layer_end,
-                                     const topo::DeviceSet& devices, int micro_batch_size) {
+                                     const topo::DeviceSet& devices, int micro_batch_size,
+                                     bool recompute) {
   StageCostKey key;
   key.kind = StageCostKey::Kind::kComp;
   key.layer_begin = layer_begin;
   key.layer_end = layer_end;
   key.micro_batch_size = micro_batch_size;
+  key.aux = recompute ? 1 : 0;
   key.mask_a = MaskOf(devices);
   return key;
 }
@@ -40,7 +42,8 @@ StageCostKey StageCostCache::CommKey(int boundary, const topo::DeviceSet& from,
 }
 
 StageCostKey StageCostCache::MemoryKey(int layer_begin, int layer_end, int replication,
-                                       int micro_batch_size, int warmup_depth) {
+                                       int micro_batch_size, int warmup_depth,
+                                       bool recompute) {
   StageCostKey key;
   key.kind = StageCostKey::Kind::kMemory;
   key.layer_begin = layer_begin;
@@ -50,6 +53,7 @@ StageCostKey StageCostCache::MemoryKey(int layer_begin, int layer_end, int repli
   // Peak memory depends on the per-replica slice, not on which physical
   // devices host it; the replication factor is the whole device signature.
   key.mask_a = static_cast<std::uint64_t>(replication);
+  key.mask_b = recompute ? 1 : 0;
   return key;
 }
 
@@ -59,6 +63,14 @@ void ExportSearchStats(const PlannerSearchStats& stats) {
   metrics.counter("planner.parallel.levels").Increment(stats.levels);
   metrics.gauge("planner.parallel.threads").Set(static_cast<double>(stats.threads));
   metrics.histogram("planner.parallel.wall_seconds").Observe(stats.wall_seconds);
+  // Cap metrics only when a cap was actually in force, so uncapped runs
+  // keep their metric namespace unchanged.
+  if (stats.memory_cap > 0) {
+    metrics.gauge("planner.cap.bytes").Set(static_cast<double>(stats.memory_cap));
+    metrics.counter("planner.cap.memory_rejected").Increment(stats.memory_rejected);
+    metrics.counter("planner.cap.recompute_stages").Increment(stats.recompute_stages);
+    metrics.counter("planner.cap.fit_probes").Increment(stats.fit_probes);
+  }
   metrics.counter("planner.cache.hits").Increment(stats.cache_hits);
   metrics.counter("planner.cache.misses").Increment(stats.cache_misses);
   metrics.gauge("planner.cache.hit_rate").Set(stats.cache_hit_rate());

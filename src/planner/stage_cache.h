@@ -84,12 +84,16 @@ class StageCostCache {
   std::size_t num_shards() const { return cache_.num_shards(); }
 
   /// Key builders, shared by the estimator so tests can probe the cache.
+  /// `recompute` is part of the key for kComp/kMemory: the memory-
+  /// constrained search evaluates the same stage with and without
+  /// checkpointing, and the two have different costs.
   static StageCostKey CompKey(int layer_begin, int layer_end, const topo::DeviceSet& devices,
-                              int micro_batch_size);
+                              int micro_batch_size, bool recompute = false);
   static StageCostKey CommKey(int boundary, const topo::DeviceSet& from,
                               const topo::DeviceSet& to, int micro_batch_size);
   static StageCostKey MemoryKey(int layer_begin, int layer_end, int replication,
-                                int micro_batch_size, int warmup_depth);
+                                int micro_batch_size, int warmup_depth,
+                                bool recompute = false);
 
  private:
   ShardedCache<StageCostKey, StageCostValue, StageCostKeyHash> cache_;
@@ -109,6 +113,16 @@ struct PlannerSearchStats {
   long subproblems = 0;
   long candidates_evaluated = 0;
   long candidates_pruned = 0;
+
+  /// Memory-constrained search: the per-device cap in force (0 = none) and
+  /// how many candidates the estimator rejected for exceeding it.
+  Bytes memory_cap = 0;
+  long memory_rejected = 0;
+  /// Stages the recompute fit search checkpointed (0 when the plain search
+  /// already fit, or no cap / no auto-recompute was in force).
+  int recompute_stages = 0;
+  /// Extra estimator probes the fit search's binary search spent.
+  int fit_probes = 0;
 
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;

@@ -100,11 +100,14 @@ BuiltPipeline GraphBuilder::Build() const {
         model_->ForwardTime(si.plan->layer_begin, si.plan->layer_end, si.samples, 1.0);
     si.backward =
         model_->BackwardTime(si.plan->layer_begin, si.plan->layer_end, si.samples, 1.0);
+    // A stage recomputes when the global schedule flag or its own plan
+    // flag (set by the memory-constrained planner) asks for it.
+    const bool recompute = options_.schedule.recompute || si.plan->recompute;
     // 2BP halves the backward at the input/weight gradient boundary; the
     // forward replay under recompute must precede the input half (the
     // gradient leaves the stage there), so the overhead lands on BI.
     si.bw_weight = 0.5 * si.backward;
-    if (options_.schedule.recompute) {
+    if (recompute) {
       si.backward += options_.schedule.recompute_overhead * si.forward;
     }
     si.bw_input = si.backward - si.bw_weight;
@@ -113,7 +116,7 @@ BuiltPipeline GraphBuilder::Build() const {
         model_->ActivationMemory(si.plan->layer_begin, si.plan->layer_end, si.samples);
     si.checkpoint =
         model_->CheckpointMemory(si.plan->layer_begin, si.plan->layer_end, si.samples);
-    if (options_.schedule.recompute) {
+    if (recompute) {
       si.fw_alloc = si.checkpoint;
       // Transient working set while one layer block replays in backward.
       si.bw_alloc = model_->MaxLayerActivationMemory(si.plan->layer_begin,
@@ -141,7 +144,8 @@ BuiltPipeline GraphBuilder::Build() const {
       // between BI_m and BWW_m, before BWW_m frees micro-batch m.
       const Bytes reserve =
           si.baseline + si.bw_alloc + (split_bw ? si.fw_alloc : Bytes{0});
-      const Bytes capacity = cluster_->device().memory;
+      const Bytes capacity =
+          options_.memory_cap > 0 ? options_.memory_cap : cluster_->device().memory;
       if (capacity > reserve) {
         memory_limit = static_cast<int>((capacity - reserve) / std::max<Bytes>(si.fw_alloc, 1));
       }
@@ -166,6 +170,11 @@ BuiltPipeline GraphBuilder::Build() const {
   }
   for (int i = 0; i < num_stages; ++i) {
     built.warmup_depths.push_back(info[static_cast<std::size_t>(i)].warmup);
+    built.stage_recompute.push_back(
+        options_.schedule.recompute ||
+                plan_->stages[static_cast<std::size_t>(i)].recompute
+            ? 1
+            : 0);
   }
 
   // --- Resource ids ------------------------------------------------------
@@ -471,7 +480,7 @@ BuiltPipeline GraphBuilder::Build() const {
       built.engine_options.pool_baselines[static_cast<std::size_t>(d)] = baseline;
       if (options_.enforce_memory_capacity) {
         built.engine_options.pool_capacities[static_cast<std::size_t>(d)] =
-            cluster_->device().memory;
+            options_.memory_cap > 0 ? options_.memory_cap : cluster_->device().memory;
       }
     }
   }

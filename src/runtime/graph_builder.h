@@ -12,6 +12,9 @@
 // Control edges chain each device's FW/BW order per runtime/schedule.h.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "model/profile.h"
 #include "planner/plan.h"
 #include "runtime/schedule.h"
@@ -38,8 +41,13 @@ struct BuildOptions {
   int micro_batch_size = 0;
   ScheduleOptions schedule;
   ReplicationMode replication = ReplicationMode::kSplitMicroBatch;
-  /// Give device pools the cluster's memory capacity so OOM is observable.
+  /// Give device pools the per-device memory capacity so OOM is observable.
   bool enforce_memory_capacity = true;
+  /// Per-device memory capacity in bytes; 0 = the cluster's device memory.
+  /// Feeds both the in-flight throttle's reserve math and the simulator
+  /// pool capacities, so the MemoryPool OOM boundary (peak > cap) and the
+  /// planner's cap check agree byte-for-byte.
+  Bytes memory_cap = 0;
   /// Overlap gradient AllReduce with the final backward pass (bucketed,
   /// reverse-layer order). Matches the latency estimator's model.
   bool overlap_allreduce = true;
@@ -75,6 +83,10 @@ struct BuiltPipeline {
   int num_devices = 0;
   /// Per computation stage: the warmup depth the schedule actually used.
   std::vector<int> warmup_depths;
+  /// Per computation stage: 1 when the stage ran with activation
+  /// recomputation (global ScheduleOptions::recompute or the stage's own
+  /// plan flag), 0 otherwise. Feeds report/JSON output.
+  std::vector<std::uint8_t> stage_recompute;
   /// The options the builder ran with (micro-batching resolved above); lets
   /// consumers such as check::ScheduleValidator re-derive expectations.
   BuildOptions options;

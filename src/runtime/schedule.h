@@ -75,11 +75,16 @@ int VStashCap(ScheduleKind kind, int stage, int num_stages);
 struct ScheduleOptions {
   ScheduleKind kind = ScheduleKind::kDapple;
   WarmupPolicy warmup = WarmupPolicy::kPA;
-  /// Re-computation: stash only stage-boundary activations, replay the
-  /// forward inside backward.
+  /// Re-computation on every stage: stash only stage-boundary activations,
+  /// replay the forward inside backward. Per-stage recomputation rides
+  /// planner::StagePlan::recompute; a stage recomputes when either is set.
   bool recompute = false;
-  /// Extra backward cost as a fraction of forward time when recomputing.
-  double recompute_overhead = 0.75;
+  /// Extra backward cost as a fraction of *forward* time when recomputing
+  /// (the replayed forward). 0.4 x F = 0.2 x B on the zoo's backward ≈ 2x
+  /// forward profiles — the paper's §II-A "~20% extra backward overhead".
+  /// Must match planner::LatencyOptions::recompute_overhead (regression-
+  /// tested in tests/memory_cap_test.cc).
+  double recompute_overhead = 0.4;
   /// Ablation hook: force the warmup depth K for every stage (still
   /// clamped by M and the memory limit). 0 = use the policy formulas.
   int warmup_override = 0;

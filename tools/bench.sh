@@ -27,6 +27,7 @@ benches=(
   bench_fault_recovery
   bench_planner_scale
   bench_sim_engine
+  bench_memory_cap
 )
 
 echo "=== configure ${build}"

@@ -13,14 +13,17 @@
 #                    tests (pushes to main)
 #   perf-smoke     — `ctest -L perf-smoke`: the planner and simulator
 #                    determinism sweeps, the --quick planner-scaling and
-#                    sim-engine benches, and a reduced schedule-family
-#                    fuzz sweep covering every ScheduleKind (seconds;
-#                    runs on the plain tree only, sanitizers would
-#                    distort the timing columns — the sweeps themselves
-#                    also run under ASan in the unit tier)
+#                    sim-engine benches, and reduced fuzz sweeps — the
+#                    schedule-family sweep covering every ScheduleKind and
+#                    the memory-cap sweep (plan under a random per-device
+#                    cap -> refuse or fit, never OOM) (seconds; runs on
+#                    the plain tree only, sanitizers would distort the
+#                    timing columns — the sweeps themselves also run
+#                    under ASan in the unit tier)
 #
 # Wider sweeps stay opt-in: `DAPPLE_FUZZ_ITERATIONS=100000 ctest -L fuzz`,
-# or `tools/dapple_fuzz --iterations 100000` / `--faults` directly.
+# or `tools/dapple_fuzz --iterations 100000` / `--faults` / `--memory-cap`
+# directly.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -3,7 +3,11 @@
 //   dapple zoo
 //       List the calibrated benchmark models (paper Table II).
 //   dapple plan <model> <config A|B|C> <servers> <gbs> [--save FILE]
-//       Run the planner and print (optionally save) the chosen plan.
+//              [--memory-cap BYTES] [--recompute=off|all|auto]
+//       Run the planner and print (optionally save) the chosen plan. With
+//       a per-device memory cap the search rejects placements whose
+//       estimated peak exceeds it; --recompute=auto turns checkpointing on
+//       stage-by-stage (cheapest first) when nothing fits otherwise.
 //   dapple run <model> <config> <servers> <gbs>
 //              [--plan FILE] [--schedule dapple|gpipe|dapple-2bp|v-min|v-half] [--recompute]
 //              [--gantt] [--trace FILE.json]
@@ -46,14 +50,16 @@ int Usage() {
                "usage:\n"
                "  dapple zoo\n"
                "  dapple plan <model> <A|B|C> <servers> <gbs> [--save FILE]\n"
+               "              [--memory-cap BYTES] [--recompute=off|all|auto]\n"
                "              [--planner-threads N]  (0 = hardware concurrency,\n"
-               "               1 = serial; the plan is identical at every N)\n"
+               "               1 = serial; the plan is identical at every N;\n"
+               "               BYTES accepts suffixes: 12GiB, 900MiB, ...)\n"
                "  dapple run  <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
                "              [--schedule dapple|gpipe|dapple-2bp|v-min|v-half] [--recompute] [--gantt]\n"
-               "              [--trace FILE.json]\n"
+               "              [--memory-cap BYTES] [--trace FILE.json]\n"
                "  dapple report <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
                "              [--schedule dapple|gpipe|dapple-2bp|v-min|v-half] [--recompute]\n"
-               "              [--json FILE] [--peak-vs-m M1,M2,...]\n"
+               "              [--memory-cap BYTES] [--json FILE] [--peak-vs-m M1,M2,...]\n"
                "              [--sim-threads N]\n"
                "  dapple report --fig3 [--json FILE]\n"
                "  dapple faults <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
@@ -94,6 +100,12 @@ int CmdPlan(int argc, char** argv) {
       save_path = argv[++i];
     } else if (std::strcmp(argv[i], "--planner-threads") == 0 && i + 1 < argc) {
       planner_options.num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--memory-cap") == 0 && i + 1 < argc) {
+      planner_options.memory_cap = ParseBytes(argv[++i]);
+    } else if (std::strncmp(argv[i], "--recompute=", 12) == 0) {
+      planner_options.recompute = planner::ParseRecomputePolicy(argv[i] + 12);
+    } else if (std::strcmp(argv[i], "--recompute") == 0 && i + 1 < argc) {
+      planner_options.recompute = planner::ParseRecomputePolicy(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage();
@@ -110,6 +122,16 @@ int CmdPlan(int argc, char** argv) {
               static_cast<long long>(planned.stats.cache_hits),
               static_cast<long long>(planned.stats.cache_hits + planned.stats.cache_misses),
               planned.stats.cache_hit_rate() * 100.0, planned.stats.wall_seconds);
+  if (planned.stats.memory_cap > 0) {
+    std::printf("memory cap %s: peak %s (%s), %ld placements rejected, "
+                "%d/%d stages recompute (%d fit probes)\n",
+                FormatBytes(planned.stats.memory_cap).c_str(),
+                FormatBytes(planned.estimate.max_peak_memory).c_str(),
+                planned.estimate.max_peak_memory <= planned.stats.memory_cap ? "fits"
+                                                                             : "OVER CAP",
+                planned.stats.memory_rejected, planned.stats.recompute_stages,
+                static_cast<int>(planned.plan.stages.size()), planned.stats.fit_probes);
+  }
   std::printf("%s", planned.plan.ToDetailedString().c_str());
   if (!save_path.empty()) {
     planner::SavePlan(save_path, planned.plan);
@@ -140,6 +162,8 @@ int CmdRun(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--recompute") == 0) {
       options.schedule.recompute = true;
+    } else if (std::strcmp(argv[i], "--memory-cap") == 0 && i + 1 < argc) {
+      options.memory_cap = ParseBytes(argv[++i]);
     } else if (std::strcmp(argv[i], "--gantt") == 0) {
       gantt = true;
     } else {
@@ -154,7 +178,11 @@ int CmdRun(int argc, char** argv) {
     plan = planner::LoadPlan(plan_path);
     plan.Validate(m);
   } else {
-    plan = session.Plan(gbs).plan;
+    // Plan under the same cap the simulator will enforce, so a capped run
+    // gets a plan that fits (or a refusal) instead of an OOM'd report.
+    planner::PlannerOptions planner_options;
+    planner_options.memory_cap = options.memory_cap;
+    plan = session.Plan(gbs, planner_options).plan;
   }
 
   runtime::PipelineExecutor executor(m, cluster, plan, options);
@@ -268,6 +296,8 @@ int CmdReport(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--recompute") == 0) {
       options.schedule.recompute = true;
+    } else if (std::strcmp(argv[i], "--memory-cap") == 0 && i + 1 < argc) {
+      options.memory_cap = ParseBytes(argv[++i]);
     } else if (std::strcmp(argv[i], "--peak-vs-m") == 0 && i + 1 < argc) {
       for (const char* p = argv[++i]; *p;) {
         curve_counts.push_back(std::atoi(p));
@@ -288,7 +318,10 @@ int CmdReport(int argc, char** argv) {
     plan = planner::LoadPlan(plan_path);
     plan.Validate(m);
   } else {
-    plan = session.Plan(gbs).plan;
+    // Plan under the same cap the simulator will enforce (see CmdRun).
+    planner::PlannerOptions planner_options;
+    planner_options.memory_cap = options.memory_cap;
+    plan = session.Plan(gbs, planner_options).plan;
   }
 
   runtime::PipelineExecutor executor(m, cluster, plan, options);

@@ -13,6 +13,12 @@
 //       recovery policy; every pipeline the experiment builds (initial,
 //       checkpoint-remapped, replanned) runs the full validator invariant
 //       set.
+//   dapple_fuzz --memory-cap [--iterations N] [--seed BASE] [--verbose]
+//   dapple_fuzz --memory-cap --repro SEED
+//       Memory-cap mode: each seed derives a random model, schedule family
+//       and a per-device cap scaled around the family's uncapped peak; the
+//       planner must either declare the cap infeasible or emit a plan whose
+//       capped simulation passes the validator with zero OOM violations.
 //
 // Each case derives entirely from its 64-bit seed, so any failure printed
 // by the batch mode reproduces exactly with --repro.
@@ -32,10 +38,10 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  dapple_fuzz [--faults] [--iterations N] [--seed BASE] [--verbose]\n"
-               "              [--threads N]  (0 = hardware concurrency; results\n"
-               "               are identical at every N)\n"
-               "  dapple_fuzz [--faults] --repro SEED\n");
+               "  dapple_fuzz [--faults|--memory-cap] [--iterations N] [--seed BASE]\n"
+               "              [--verbose] [--threads N]  (0 = hardware concurrency;\n"
+               "               results are identical at every N)\n"
+               "  dapple_fuzz [--faults|--memory-cap] --repro SEED\n");
   return 2;
 }
 
@@ -88,6 +94,66 @@ int RunFaultSweep(std::uint64_t base, long iterations, bool verbose, int threads
   return 0;
 }
 
+int ReproMemoryCap(std::uint64_t seed) {
+  const check::MemoryCapFuzzCase c = check::MakeMemoryCapFuzzCase(seed);
+  std::printf("%s\n", c.Describe().c_str());
+  const check::MemoryCapFuzzOutcome out = check::RunMemoryCapFuzzCase(c);
+  if (!out.ok()) {
+    std::printf("%s", out.Summary().c_str());
+    return 1;
+  }
+  if (!out.planned) {
+    std::printf("ok: declared infeasible (%s)\n", out.infeasible_reason.c_str());
+  } else {
+    std::printf("ok: fits cap %s (analytic peak %s, simulated peak %s, "
+                "%d stages recompute)\n",
+                FormatBytes(out.memory_cap).c_str(), FormatBytes(out.analytic_peak).c_str(),
+                FormatBytes(out.simulated_peak).c_str(), out.recompute_stages);
+  }
+  return 0;
+}
+
+int RunMemoryCapSweep(std::uint64_t base, long iterations, bool verbose, int threads) {
+  const std::vector<std::uint64_t> seeds = SeedRange(base, iterations);
+  if (verbose) {
+    for (std::uint64_t seed : seeds) {
+      std::printf("%s\n", check::MakeMemoryCapFuzzCase(seed).Describe().c_str());
+    }
+  }
+  const std::vector<check::MemoryCapFuzzOutcome> outcomes =
+      check::RunMemoryCapFuzzSweep(seeds, threads);
+  long planned = 0, infeasible = 0, with_recompute = 0;
+  // Per-kind case counts, so a sweep cannot silently skip a family.
+  const auto& all_kinds = runtime::AllScheduleKinds();
+  std::vector<long> kind_counts(all_kinds.size(), 0);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const check::MemoryCapFuzzOutcome& out = outcomes[i];
+    if (!out.ok()) {
+      std::fprintf(stderr, "%s  case: %s\n", out.Summary().c_str(),
+                   check::MakeMemoryCapFuzzCase(seeds[i]).Describe().c_str());
+      return 1;
+    }
+    planned += out.planned ? 1 : 0;
+    infeasible += out.planned ? 0 : 1;
+    with_recompute += out.recompute_stages > 0 ? 1 : 0;
+    for (std::size_t k = 0; k < all_kinds.size(); ++k) {
+      if (out.kind == all_kinds[k]) ++kind_counts[k];
+    }
+  }
+  std::printf("%ld memory-cap cases ok (seeds %llu..%llu): %ld planned fit, "
+              "%ld declared infeasible, %ld used recompute, 0 OOM\n",
+              iterations, static_cast<unsigned long long>(base),
+              static_cast<unsigned long long>(base + iterations - 1), planned, infeasible,
+              with_recompute);
+  std::printf("cases per schedule kind:");
+  for (std::size_t k = 0; k < all_kinds.size(); ++k) {
+    std::printf("%s %s=%ld", k ? "," : "", runtime::ToString(all_kinds[k]),
+                kind_counts[k]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
 int Repro(std::uint64_t seed) {
   const check::FuzzCase c = check::MakeFuzzCase(seed);
   std::printf("%s\n", c.Describe().c_str());
@@ -113,16 +179,21 @@ int main(int argc, char** argv) {
   long iterations = 200;
   bool verbose = false;
   bool faults = false;
+  bool memory_cap = false;
   int threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) {
       faults = true;
+    } else if (std::strcmp(argv[i], "--memory-cap") == 0) {
+      memory_cap = true;
     } else if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc) {
       const std::uint64_t seed = std::strtoull(argv[++i], nullptr, 10);
-      // --faults may follow --repro; scan the rest before dispatching.
+      // The mode flag may follow --repro; scan the rest before dispatching.
       for (int j = i + 1; j < argc; ++j) {
         if (std::strcmp(argv[j], "--faults") == 0) faults = true;
+        if (std::strcmp(argv[j], "--memory-cap") == 0) memory_cap = true;
       }
+      if (memory_cap) return ReproMemoryCap(seed);
       return faults ? ReproFaults(seed) : Repro(seed);
     } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
       iterations = std::atol(argv[++i]);
@@ -136,7 +207,8 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (iterations <= 0 || threads < 0) return Usage();
+  if (iterations <= 0 || threads < 0 || (faults && memory_cap)) return Usage();
+  if (memory_cap) return RunMemoryCapSweep(base, iterations, verbose, threads);
   if (faults) return RunFaultSweep(base, iterations, verbose, threads);
 
   // Tolerance calibration: track the worst observed analytic/sim ratio per
