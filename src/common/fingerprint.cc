@@ -1,0 +1,52 @@
+#include "common/fingerprint.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace dapple {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+}  // namespace
+
+Fingerprint64& Fingerprint64::MixBytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ ^= static_cast<std::uint64_t>(bytes[i]);
+    state_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Fingerprint64& Fingerprint64::Mix(std::uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  return MixBytes(bytes, sizeof(bytes));
+}
+
+Fingerprint64& Fingerprint64::Mix(double v) {
+  if (v == 0.0) v = 0.0;  // normalize -0.0
+  return Mix(std::bit_cast<std::uint64_t>(v));
+}
+
+Fingerprint64& Fingerprint64::Mix(bool v) {
+  const unsigned char byte = v ? 1 : 0;
+  return MixBytes(&byte, 1);
+}
+
+Fingerprint64& Fingerprint64::Mix(std::string_view s) {
+  Mix(static_cast<std::uint64_t>(s.size()));
+  return MixBytes(s.data(), s.size());
+}
+
+std::uint64_t Fingerprint64::digest() const {
+  return state_ == 0 ? kFnvPrime : state_;
+}
+
+std::string FingerprintToString(std::uint64_t digest) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "fp:%016llx", static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace dapple

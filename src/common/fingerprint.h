@@ -1,0 +1,52 @@
+// Stable 64-bit canonical fingerprints. Unlike std::hash (whose values are
+// explicitly unspecified and vary across standard libraries, platforms and
+// process runs), Fingerprint64 is FNV-1a over a canonical byte encoding —
+// the same input always produces the same 64-bit digest, on every build,
+// forever. That stability is what makes the digests usable as durable
+// identifiers: plan-cache keys that survive a daemon restart, BENCH row ids
+// that can be compared across commits, golden values pinned in tests.
+//
+// Encoding rules (the canonical form the digest is defined over):
+//   - unsigned/signed 64-bit integers: 8 bytes little-endian (signed via
+//     two's-complement bit pattern);
+//   - doubles: the IEEE-754 bit pattern as a 64-bit integer (-0.0 and 0.0
+//     are normalized to +0.0 so semantically equal values agree);
+//   - bools: one byte, 0 or 1;
+//   - strings: length as a 64-bit integer, then the raw bytes (the length
+//     prefix keeps ("ab","c") distinct from ("a","bc")).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dapple {
+
+/// Streaming FNV-1a 64-bit hasher over the canonical encoding above.
+class Fingerprint64 {
+ public:
+  Fingerprint64& MixBytes(const void* data, std::size_t size);
+
+  Fingerprint64& Mix(std::uint64_t v);
+  Fingerprint64& Mix(std::int64_t v) { return Mix(static_cast<std::uint64_t>(v)); }
+  Fingerprint64& Mix(std::uint32_t v) { return Mix(static_cast<std::uint64_t>(v)); }
+  Fingerprint64& Mix(std::int32_t v) { return Mix(static_cast<std::int64_t>(v)); }
+  Fingerprint64& Mix(double v);
+  Fingerprint64& Mix(bool v);
+  Fingerprint64& Mix(std::string_view s);
+  Fingerprint64& Mix(const char* s) { return Mix(std::string_view(s)); }
+
+  /// The digest of everything mixed so far. Never 0: a zero digest is
+  /// remapped so callers may use 0 as an "absent" sentinel.
+  std::uint64_t digest() const;
+
+ private:
+  // FNV-1a offset basis.
+  std::uint64_t state_ = 14695981039346656037ull;
+};
+
+/// Renders a digest as the fixed-width hex form used in logs, cache stats
+/// and BENCH rows: "fp:0123456789abcdef".
+std::string FingerprintToString(std::uint64_t digest);
+
+}  // namespace dapple

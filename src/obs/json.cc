@@ -35,6 +35,7 @@ std::string JsonWriter::Number(double v) {
 }
 
 void JsonWriter::Newline() {
+  if (layout_ == Layout::kCompact) return;
   out_ += '\n';
   out_.append(2 * first_in_container_.size(), ' ');
 }
@@ -87,7 +88,7 @@ JsonWriter& JsonWriter::Key(const std::string& name) {
   Newline();
   out_ += '"';
   out_ += Escape(name);
-  out_ += "\": ";
+  out_ += layout_ == Layout::kCompact ? "\":" : "\": ";
   pending_key_ = true;
   return *this;
 }

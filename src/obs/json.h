@@ -12,6 +12,14 @@ namespace dapple::obs {
 
 class JsonWriter {
  public:
+  /// Layout of the emitted document. kPretty is the archival default
+  /// (goldens, reports); kCompact emits everything on one line with no
+  /// inter-token whitespace — required by newline-delimited protocols
+  /// (the serve daemon), where a document must not contain '\n'.
+  enum class Layout { kPretty, kCompact };
+
+  explicit JsonWriter(Layout layout = Layout::kPretty) : layout_(layout) {}
+
   JsonWriter& BeginObject();
   JsonWriter& EndObject();
   JsonWriter& BeginArray();
@@ -47,6 +55,7 @@ class JsonWriter {
   void BeforeValue();
   void Newline();
 
+  Layout layout_ = Layout::kPretty;
   std::string out_;
   /// One frame per open container: true while no element was emitted yet.
   std::vector<bool> first_in_container_;

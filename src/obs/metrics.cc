@@ -1,12 +1,25 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <vector>
 
 #include "obs/json.h"
 
 namespace dapple::obs {
+
+int Histogram::BucketOf(double v) {
+  if (!(v > kBucketMin)) return 0;
+  if (v >= kBucketMax) return kNumBuckets - 1;
+  // Buckets are uniform in log space: index i covers
+  // [min * r^i, min * r^(i+1)) with r = (max/min)^(1/kNumBuckets).
+  static const double kLogMin = std::log(kBucketMin);
+  static const double kLogRange = std::log(kBucketMax) - kLogMin;
+  const int index =
+      static_cast<int>((std::log(v) - kLogMin) / kLogRange * kNumBuckets);
+  return std::clamp(index, 0, kNumBuckets - 1);
+}
 
 void Histogram::Observe(double v) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -19,6 +32,29 @@ void Histogram::Observe(double v) {
   }
   ++count_;
   sum_ += v;
+  ++buckets_[BucketOf(v)];
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested order statistic, then walk the cumulative bucket
+  // counts to the bucket containing it.
+  const std::int64_t rank =
+      static_cast<std::int64_t>(q * static_cast<double>(count_ - 1));
+  std::int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative > rank) {
+      static const double kLogMin = std::log(kBucketMin);
+      static const double kLogRange = std::log(kBucketMax) - kLogMin;
+      const double upper =
+          std::exp(kLogMin + kLogRange * static_cast<double>(i + 1) / kNumBuckets);
+      return std::clamp(upper, min_, max_);
+    }
+  }
+  return max_;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -67,6 +103,9 @@ std::string MetricsRegistry::ToJson() const {
     w.Field("min", h->min());
     w.Field("max", h->max());
     w.Field("mean", h->mean());
+    w.Field("p50", h->Quantile(0.50));
+    w.Field("p95", h->Quantile(0.95));
+    w.Field("p99", h->Quantile(0.99));
     w.EndObject();
   }
   w.EndObject();
@@ -97,7 +136,10 @@ std::string MetricsRegistry::ToText() const {
     pad(name);
     os << "n=" << h->count() << " sum=" << JsonWriter::Number(h->sum())
        << " min=" << JsonWriter::Number(h->min()) << " max=" << JsonWriter::Number(h->max())
-       << " mean=" << JsonWriter::Number(h->mean()) << "\n";
+       << " mean=" << JsonWriter::Number(h->mean())
+       << " p50=" << JsonWriter::Number(h->Quantile(0.50))
+       << " p95=" << JsonWriter::Number(h->Quantile(0.95))
+       << " p99=" << JsonWriter::Number(h->Quantile(0.99)) << "\n";
   }
   return os.str();
 }

@@ -37,11 +37,20 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Count/sum/min/max summary of observed samples. Enough to answer "how
-/// many, how big on average, what were the extremes" without storing the
-/// stream; full distributions belong in traces, not metrics.
+/// Count/sum/min/max summary of observed samples plus a fixed logarithmic
+/// bucket grid for quantile estimates. Enough to answer "how many, how big
+/// on average, what were the extremes, where do p50/p95/p99 sit" without
+/// storing the stream; full distributions belong in traces, not metrics.
 class Histogram {
  public:
+  /// Fixed log-scale grid: kNumBuckets buckets spanning [kBucketMin,
+  /// kBucketMax) with ~14% per-bucket resolution, plus implicit under/
+  /// overflow at the ends. Covers nanoseconds through days when samples
+  /// are seconds — the serve daemon's request-latency range and then some.
+  static constexpr int kNumBuckets = 256;
+  static constexpr double kBucketMin = 1e-9;
+  static constexpr double kBucketMax = 1e6;
+
   void Observe(double v);
 
   std::int64_t count() const { return count_; }
@@ -50,12 +59,22 @@ class Histogram {
   double max() const { return count_ > 0 ? max_ : 0.0; }
   double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
 
+  /// Estimated q-th quantile (0 <= q <= 1) from the bucket grid: the upper
+  /// boundary of the bucket holding the rank, clamped to the exact observed
+  /// [min, max]. Within one bucket width (~14%) of the true order
+  /// statistic; 0 when nothing was observed.
+  double Quantile(double q) const;
+
  private:
+  /// Bucket index of one sample (clamped to the grid's ends).
+  static int BucketOf(double v);
+
   mutable std::mutex mu_;
   std::int64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  std::int64_t buckets_[kNumBuckets] = {};
 };
 
 /// Named instrument registry. Lookup creates on first use; instruments live

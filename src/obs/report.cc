@@ -332,6 +332,7 @@ void WriteJson(JsonWriter& w, const IterationReport& r) {
       w.Field("misses", shard.misses);
       w.Field("entries", shard.entries);
       w.Field("compute_seconds", shard.compute_seconds);
+      w.Field("evictions", shard.evictions);
       w.EndObject();
     }
     w.EndArray();

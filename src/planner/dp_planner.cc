@@ -125,7 +125,8 @@ PlanResult DapplePlanner::Plan() const {
   std::unique_ptr<StageCostCache> cache;
   if (options_.use_stage_cache && cluster_->num_devices() <= kStageCacheMaxDevices) {
     cache = std::make_unique<StageCostCache>(
-        static_cast<std::size_t>(std::max(1, options_.cache_shards)));
+        static_cast<std::size_t>(std::max(1, options_.cache_shards)),
+        static_cast<std::size_t>(std::max(0L, options_.cache_entries_per_shard)));
     estimator.set_stage_cache(cache.get());
   }
   int probes = MinimizeRecompute(estimator, result.plan, result.estimate);
@@ -216,7 +217,8 @@ PlanResult DapplePlanner::Search(const LatencyOptions& latency) const {
   std::unique_ptr<StageCostCache> cache;
   if (options_.use_stage_cache && num_devices <= kStageCacheMaxDevices) {
     cache = std::make_unique<StageCostCache>(
-        static_cast<std::size_t>(std::max(1, options_.cache_shards)));
+        static_cast<std::size_t>(std::max(1, options_.cache_shards)),
+        static_cast<std::size_t>(std::max(0L, options_.cache_entries_per_shard)));
     estimator.set_stage_cache(cache.get());
   }
 
@@ -509,6 +511,7 @@ PlanResult DapplePlanner::Search(const LatencyOptions& latency) const {
     best.stats.cache_misses = totals.misses;
     best.stats.cache_entries = totals.entries;
     best.stats.cache_compute_seconds = totals.compute_seconds;
+    best.stats.cache_evictions = totals.evictions;
     best.stats.shards = cache->PerShardStats();
   }
   best.stats.wall_seconds =

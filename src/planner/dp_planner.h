@@ -70,6 +70,12 @@ struct PlannerOptions {
   /// Lock shards of the stage-cost memo cache (rounded up to a power of
   /// two). More shards cut contention when many threads evaluate at once.
   int cache_shards = 16;
+  /// Per-shard LRU capacity bound on the stage-cost cache (entries). 0 =
+  /// unbounded — fine for one search, whose vocabulary is finite; a
+  /// long-lived process (the serve daemon) sets a bound so the memo table
+  /// cannot grow across requests without limit. Eviction only re-derives
+  /// costs; the chosen plan is identical either way.
+  long cache_entries_per_shard = 0;
   /// Disables the stage-cost memo cache (A/B benchmarking hook). Cached
   /// values are bit-identical to recomputation, so this never changes the
   /// resulting plan — only how fast the search finds it.

@@ -1,0 +1,119 @@
+// Planner-as-a-service core: the request handler behind `dapple serve`.
+//
+// A Server answers protocol requests (serve/protocol.h) against one
+// process-wide plan cache: a capacity-bounded, sharded LRU keyed by the
+// canonical fingerprint of (model, cluster, global batch, schedule kind,
+// memory cap, recompute policy, planner options). Identical requests return
+// byte-identical cached plans without re-searching — the plan-reuse idiom
+// of poplibs' ConvPlan cache applied to pipeline planning. Eviction and
+// cache races only ever cost a re-search, never correctness: the parallel
+// planner is byte-deterministic, so a recomputed entry equals the evicted
+// one.
+//
+// Concurrency: HandleBatch fans request lines across a sim::BatchRunner
+// worker pool and returns responses slot-indexed in request order, so the
+// response stream is byte-identical at every worker count. To keep that
+// guarantee, response bodies carry no cache status and no wall-clock
+// timing; those surface through the "stats" request kind and the
+// MetricsRegistry (serve.requests, serve.cache.{hits,misses,evictions},
+// serve.latency.<kind> histograms with p50/p95/p99).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sharded_cache.h"
+#include "planner/dp_planner.h"
+#include "serve/protocol.h"
+#include "sim/batch.h"
+
+namespace dapple::serve {
+
+struct ServerOptions {
+  /// Worker threads requests fan across: 1 = inline on the caller (the
+  /// degenerate case determinism tests compare against), 0 = hardware
+  /// concurrency, n > 1 = a pool of n.
+  int workers = 1;
+  /// Total plan-cache capacity in entries (split across shards, min 1 per
+  /// shard). A plan entry is a few hundred bytes, so thousands are cheap.
+  long cache_entries = 1024;
+  /// Plan-cache lock shards (rounded up to a power of two).
+  int cache_shards = 8;
+  /// Largest number of request lines one HandleBatch call dispatches.
+  int max_batch = 64;
+  /// Per-shard LRU bound handed to each planner run's stage-cost cache so
+  /// a long-lived daemon's memo tables stay bounded too.
+  long stage_cache_entries_per_shard = 1 << 15;
+};
+
+/// Point-in-time server statistics (also rendered by the "stats" request).
+struct ServerStats {
+  std::int64_t requests = 0;
+  std::int64_t plans = 0;
+  std::int64_t simulates = 0;
+  std::int64_t reports = 0;
+  std::int64_t stats_requests = 0;
+  std::int64_t errors = 0;
+  CacheShardStats cache;  // aggregate over plan-cache shards
+  long cache_capacity = 0;
+  int workers = 1;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  const ServerOptions& options() const { return options_; }
+  int workers() const;
+
+  /// Handles one request line, returning one response document (no
+  /// trailing newline). Never throws: every failure becomes a structured
+  /// error response.
+  std::string HandleLine(const std::string& line);
+
+  /// Handles a batch of request lines across the worker pool; responses
+  /// match `lines` by index regardless of scheduling.
+  std::vector<std::string> HandleBatch(const std::vector<std::string>& lines);
+
+  ServerStats Stats() const;
+
+ private:
+  /// One cached planning result; shared_ptr so cache copies stay cheap.
+  struct PlanEntry {
+    planner::ParallelPlan plan;
+    planner::PlanEstimate estimate;
+    std::string plan_text;  // SerializePlan(plan), the byte-stable form
+    int recompute_stages = 0;
+  };
+  using PlanEntryPtr = std::shared_ptr<const PlanEntry>;
+
+  std::string Dispatch(const ServeRequest& request);
+  std::string HandlePlan(const ServeRequest& request);
+  std::string HandleSimulate(const ServeRequest& request);
+  std::string HandleReport(const ServeRequest& request);
+  std::string HandleStats(const ServeRequest& request);
+
+  /// The cached (or freshly planned and inserted) result for a request.
+  PlanEntryPtr PlanFor(const ServeRequest& request, std::uint64_t* fingerprint);
+
+  void ExportCacheCounters();
+
+  ServerOptions options_;
+  ShardedCache<std::uint64_t, PlanEntryPtr> cache_;
+  sim::BatchRunner runner_;
+
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> plans_{0};
+  std::atomic<std::int64_t> simulates_{0};
+  std::atomic<std::int64_t> reports_{0};
+  std::atomic<std::int64_t> stats_requests_{0};
+  std::atomic<std::int64_t> errors_{0};
+  /// Eviction count already forwarded to the metrics counter (evictions are
+  /// tallied inside the cache; the registry wants monotonic increments).
+  std::atomic<std::int64_t> exported_evictions_{0};
+};
+
+}  // namespace dapple::serve

@@ -1,0 +1,168 @@
+#include "serve/transport.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dapple::serve {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+long ServeStream(std::istream& in, std::ostream& out, Server& server) {
+  const int max_batch = std::max(1, server.options().max_batch);
+  long handled = 0;
+  std::string line;
+  std::vector<std::string> batch;
+  while (std::getline(in, line)) {
+    batch.clear();
+    batch.push_back(line);
+    // Drain whatever further lines are already buffered so concurrent
+    // clients writing ahead get their requests fanned across the pool.
+    while (static_cast<int>(batch.size()) < max_batch &&
+           in.rdbuf()->in_avail() > 0 && std::getline(in, line)) {
+      batch.push_back(line);
+    }
+    for (const std::string& response : server.HandleBatch(batch)) {
+      out << response << '\n';
+    }
+    out.flush();
+    handled += static_cast<long>(batch.size());
+  }
+  return handled;
+}
+
+namespace {
+
+/// NDJSON loop over a connected socket fd: accumulate bytes, split on
+/// '\n', dispatch complete lines in greedy batches.
+long ServeConnection(int fd, Server& server) {
+  const std::size_t max_batch =
+      static_cast<std::size_t>(std::max(1, server.options().max_batch));
+  long handled = 0;
+  std::string buffer;
+  std::vector<std::string> pending;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) open = false;  // EOF: fall through to flush pending lines
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      pending.push_back(buffer.substr(start, nl - start));
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+
+    while (!pending.empty()) {
+      const std::size_t take = std::min(pending.size(), max_batch);
+      std::vector<std::string> batch(pending.begin(),
+                                     pending.begin() + static_cast<long>(take));
+      pending.erase(pending.begin(), pending.begin() + static_cast<long>(take));
+      std::string reply;
+      for (const std::string& response : server.HandleBatch(batch)) {
+        reply += response;
+        reply += '\n';
+      }
+      handled += static_cast<long>(batch.size());
+      std::size_t off = 0;
+      while (off < reply.size()) {
+        const ssize_t wrote = ::write(fd, reply.data() + off, reply.size() - off);
+        if (wrote < 0) {
+          if (errno == EINTR) continue;
+          return handled;
+        }
+        off += static_cast<std::size_t>(wrote);
+      }
+    }
+  }
+  return handled;
+}
+
+long ServeListener(int listen_fd, Server& server, int max_connections) {
+  long handled = 0;
+  for (int accepted = 0; max_connections <= 0 || accepted < max_connections;
+       ++accepted) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) { --accepted; continue; }
+      ::close(listen_fd);
+      ThrowErrno("accept failed");
+    }
+    handled += ServeConnection(fd, server);
+    ::close(fd);
+  }
+  ::close(listen_fd);
+  return handled;
+}
+
+}  // namespace
+
+long ServeUnixSocket(const std::string& path, Server& server, int max_connections) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw Error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket failed");
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    ThrowErrno("bind failed for " + path);
+  }
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
+    ThrowErrno("listen failed for " + path);
+  }
+  const long handled = ServeListener(fd, server, max_connections);
+  ::unlink(path.c_str());
+  return handled;
+}
+
+long ServeTcp(int port, Server& server, int max_connections) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    ThrowErrno("bind failed for port " + std::to_string(port));
+  }
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
+    ThrowErrno("listen failed for port " + std::to_string(port));
+  }
+  return ServeListener(fd, server, max_connections);
+}
+
+}  // namespace dapple::serve

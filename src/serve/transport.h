@@ -1,0 +1,33 @@
+// Transports for the serve protocol: the same newline-delimited JSON
+// exchange carried over stdio (one process, pipes) or a listening Unix /
+// TCP socket (long-lived daemon).
+//
+// All transports batch greedily: after blocking for one request line, any
+// further lines already buffered are drained (up to the server's
+// max_batch) and dispatched together through Server::HandleBatch, so a
+// client that writes N requests before reading gets them planned across
+// the worker pool. Responses always come back in request order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/server.h"
+
+namespace dapple::serve {
+
+/// Serves requests from `in` to `out` until EOF. Returns the number of
+/// requests handled. This is `dapple serve --stdio`.
+long ServeStream(std::istream& in, std::ostream& out, Server& server);
+
+/// Listens on a Unix-domain socket at `path` (unlinking any stale socket
+/// first) and serves connections sequentially, each until its EOF.
+/// `max_connections` bounds how many connections are accepted before
+/// returning (0 = serve forever); tests use 1. Returns requests handled.
+long ServeUnixSocket(const std::string& path, Server& server,
+                     int max_connections = 0);
+
+/// Same protocol over TCP on 127.0.0.1:`port`.
+long ServeTcp(int port, Server& server, int max_connections = 0);
+
+}  // namespace dapple::serve

@@ -117,4 +117,34 @@ TEST(Cli, BadUsageFails) {
   EXPECT_NE(out.find("unknown benchmark model"), std::string::npos);
 }
 
+TEST(Cli, UnknownFlagIsDiagnosedPerSubcommand) {
+  // Every subcommand shares the FlagParser, so each rejects a stray flag
+  // with the same diagnostic and usage exit code.
+  for (const char* command :
+       {"plan GNMT-16 A 2 8 --frobnicate", "run GNMT-16 A 2 8 --frobnicate",
+        "report GNMT-16 A 2 8 --frobnicate",
+        "faults GNMT-16 A 2 8 --seed 1 --frobnicate", "serve --frobnicate"}) {
+    int code = 0;
+    const std::string out = RunCli(command, &code);
+    EXPECT_EQ(code, 2) << command;
+    EXPECT_NE(out.find("unknown flag --frobnicate"), std::string::npos) << out;
+    EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+  }
+}
+
+TEST(Cli, MissingFlagValueIsDiagnosed) {
+  int code = 0;
+  std::string out = RunCli("plan GNMT-16 A 2 8 --save", &code);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(out.find("flag --save requires a value"), std::string::npos) << out;
+
+  out = RunCli("run GNMT-16 A 2 8 --schedule", &code);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(out.find("flag --schedule requires a value"), std::string::npos) << out;
+
+  out = RunCli("serve --workers", &code);
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(out.find("flag --workers requires a value"), std::string::npos) << out;
+}
+
 }  // namespace

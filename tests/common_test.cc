@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/sharded_cache.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "common/units.h"
@@ -132,6 +137,100 @@ TEST(Rng, ForkDecorrelates) {
   const auto s1 = rng.Fork();
   const auto s2 = rng.Fork();
   EXPECT_NE(s1, s2);
+}
+
+TEST(ShardedCache, LruEvictsLeastRecentlyUsed) {
+  // One shard so every key shares one recency list.
+  ShardedCache<int, int> cache(/*shards=*/1, /*per_shard_capacity=*/3);
+  cache.Insert(1, 10);
+  cache.Insert(2, 20);
+  cache.Insert(3, 30);
+  EXPECT_EQ(cache.ShardKeysByRecency(0), (std::vector<int>{3, 2, 1}));
+
+  // A hit refreshes recency: 1 moves to the front, 2 becomes the LRU.
+  EXPECT_EQ(cache.Lookup(1).value(), 10);
+  EXPECT_EQ(cache.ShardKeysByRecency(0), (std::vector<int>{1, 3, 2}));
+
+  cache.Insert(4, 40);
+  EXPECT_EQ(cache.ShardKeysByRecency(0), (std::vector<int>{4, 1, 3}));
+  EXPECT_FALSE(cache.Lookup(2).has_value());
+  EXPECT_EQ(cache.TotalStats().evictions, 1);
+  EXPECT_EQ(cache.TotalStats().entries, 3);
+}
+
+TEST(ShardedCache, UnboundedCacheNeverEvicts) {
+  ShardedCache<int, int> cache(/*shards=*/2, /*per_shard_capacity=*/0);
+  for (int k = 0; k < 1000; ++k) cache.Insert(k, k);
+  EXPECT_EQ(cache.TotalStats().evictions, 0);
+  EXPECT_EQ(cache.TotalStats().entries, 1000);
+  for (int k = 0; k < 1000; ++k) EXPECT_EQ(cache.Lookup(k).value(), k);
+}
+
+TEST(ShardedCache, GetOrComputeRecomputesAfterEviction) {
+  ShardedCache<int, int> cache(/*shards=*/1, /*per_shard_capacity=*/2);
+  int computes = 0;
+  const auto get = [&](int k) {
+    return cache.GetOrCompute(k, [&] {
+      ++computes;
+      return k * 10;
+    });
+  };
+  EXPECT_EQ(get(1), 10);
+  EXPECT_EQ(get(2), 20);
+  EXPECT_EQ(get(1), 10);  // hit, no recompute
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(get(3), 30);  // evicts 2 (the LRU after 1's refresh)
+  EXPECT_EQ(get(2), 20);  // must recompute
+  EXPECT_EQ(computes, 4);
+  EXPECT_EQ(cache.TotalStats().evictions, 2);
+}
+
+TEST(ShardedCache, InsertOverwriteRefreshesRecency) {
+  ShardedCache<int, int> cache(/*shards=*/1, /*per_shard_capacity=*/2);
+  cache.Insert(1, 10);
+  cache.Insert(2, 20);
+  cache.Insert(1, 11);  // overwrite, not a new entry
+  EXPECT_EQ(cache.ShardKeysByRecency(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(cache.Lookup(1).value(), 11);
+  EXPECT_EQ(cache.TotalStats().entries, 2);
+  EXPECT_EQ(cache.TotalStats().evictions, 0);
+}
+
+TEST(ShardedCache, BoundedCacheIsThreadSafe) {
+  // Hammer a small bounded cache from many threads with a mixed
+  // Lookup/Insert/GetOrCompute workload; the capacity invariant must hold
+  // throughout and every returned value must match its key (values are a
+  // pure function of the key, so eviction races can never surface a wrong
+  // value).
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 5000;
+  constexpr std::size_t kCapacity = 8;
+  ShardedCache<int, int> cache(/*shards=*/4, kCapacity);
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = (i * 7 + t * 13) % 64;
+        int value = 0;
+        switch (i % 3) {
+          case 0: value = cache.GetOrCompute(key, [&] { return key * 3; }); break;
+          case 1: value = cache.Lookup(key).value_or(key * 3); break;
+          default: cache.Insert(key, key * 3); value = key * 3; break;
+        }
+        if (value != key * 3) ok = false;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(ok);
+  for (const CacheShardStats& shard : cache.PerShardStats()) {
+    EXPECT_LE(shard.entries, static_cast<std::int64_t>(kCapacity));
+  }
+  // Insert is the only op that does not count a hit or a miss; per thread
+  // that is the i % 3 == 2 third of kOpsPerThread.
+  EXPECT_EQ(cache.TotalStats().hits + cache.TotalStats().misses,
+            static_cast<std::int64_t>(kThreads) * (kOpsPerThread - kOpsPerThread / 3));
 }
 
 }  // namespace

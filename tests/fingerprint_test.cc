@@ -1,0 +1,58 @@
+// Golden-value tests for the stable 64-bit fingerprint. These constants pin
+// the canonical encoding itself: if any of them changes, every persisted
+// fingerprint (plan-cache keys, BENCH row ids) silently changes meaning.
+// Update them only for a deliberate, versioned encoding change.
+#include "common/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+namespace dapple {
+namespace {
+
+TEST(Fingerprint, GoldenValues) {
+  EXPECT_EQ(Fingerprint64().digest(), 14695981039346656037ull);  // FNV offset basis
+  EXPECT_EQ(Fingerprint64().Mix(std::uint64_t{0}).digest(), 12161962213042174405ull);
+  EXPECT_EQ(Fingerprint64().Mix(std::uint64_t{1}).digest(), 9929646806074584996ull);
+  EXPECT_EQ(Fingerprint64().Mix(std::int64_t{-1}).digest(), 10157053723145373757ull);
+  EXPECT_EQ(Fingerprint64().Mix(3.25).digest(), 12156152393599842831ull);
+  EXPECT_EQ(Fingerprint64().Mix(true).digest(), 12638152016183539244ull);
+  EXPECT_EQ(Fingerprint64().Mix("GNMT-16").digest(), 7430650025091691278ull);
+  EXPECT_EQ(
+      Fingerprint64().Mix("model/v1").Mix(std::int64_t{64}).Mix(2.5).Mix(false).digest(),
+      9681871815477372230ull);
+}
+
+TEST(Fingerprint, SignedZeroNormalizesToPositiveZero) {
+  EXPECT_EQ(Fingerprint64().Mix(0.0).digest(), Fingerprint64().Mix(-0.0).digest());
+  // And double 0.0 encodes exactly like integer 0 (all-zero bit pattern).
+  EXPECT_EQ(Fingerprint64().Mix(0.0).digest(),
+            Fingerprint64().Mix(std::uint64_t{0}).digest());
+}
+
+TEST(Fingerprint, LengthPrefixKeepsStringBoundariesDistinct) {
+  const auto ab_c = Fingerprint64().Mix("ab").Mix("c").digest();
+  const auto a_bc = Fingerprint64().Mix("a").Mix("bc").digest();
+  EXPECT_EQ(ab_c, 9106356563233852118ull);
+  EXPECT_EQ(a_bc, 13411190885463677162ull);
+  EXPECT_NE(ab_c, a_bc);
+}
+
+TEST(Fingerprint, OrderMatters) {
+  EXPECT_NE(Fingerprint64().Mix(std::uint64_t{1}).Mix(std::uint64_t{2}).digest(),
+            Fingerprint64().Mix(std::uint64_t{2}).Mix(std::uint64_t{1}).digest());
+}
+
+TEST(Fingerprint, DigestIsNeverZero) {
+  // The empty digest is the offset basis; any digest that lands on 0 is
+  // remapped so 0 stays usable as an "absent" sentinel.
+  EXPECT_NE(Fingerprint64().digest(), 0u);
+  EXPECT_NE(Fingerprint64().Mix(std::uint64_t{0}).digest(), 0u);
+}
+
+TEST(Fingerprint, ToStringIsFixedWidthHex) {
+  EXPECT_EQ(FingerprintToString(9681871815477372230ull), "fp:865ceb1e92652546");
+  EXPECT_EQ(FingerprintToString(1), "fp:0000000000000001");
+}
+
+}  // namespace
+}  // namespace dapple

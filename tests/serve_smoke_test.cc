@@ -1,0 +1,120 @@
+// Perf-smoke tier: spawn the real `dapple serve` daemon as a subprocess,
+// drive it with a scripted request mix over stdio and assert the responses
+// and a warm cache (hit rate > 0). This is the end-to-end path a user
+// scripts against; the in-process behavior is covered by serve_test.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+#ifndef DAPPLE_CLI_PATH
+#define DAPPLE_CLI_PATH "./dapple"
+#endif
+
+std::string TempPath(const std::string& tag) {
+  return "/tmp/dapple_serve_smoke_" + std::to_string(getpid()) + "_" + tag;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t nl = text.find('\n'); nl != std::string::npos;
+       nl = text.find('\n', start)) {
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+TEST(ServeSmoke, DaemonAnswersScriptedMixWithWarmCache) {
+  const std::string in_path = TempPath("in.ndjson");
+  const std::string out_path = TempPath("out.ndjson");
+  const std::string err_path = TempPath("err.txt");
+
+  {
+    std::ofstream in(in_path);
+    // Three identical plans (two must be cache hits), one distinct plan,
+    // one simulate reusing a cached plan, two failures, then stats.
+    const std::string gnmt =
+        R"({"kind":"plan","id":"p1","model":"GNMT-16","config":"A","servers":2,"gbs":64})";
+    in << gnmt << "\n" << gnmt << "\n" << gnmt << "\n";
+    in << R"({"kind":"plan","id":"p2","model":"VGG-19","config":"A","servers":1,"gbs":32})"
+       << "\n";
+    in << R"({"kind":"simulate","id":"s1","model":"GNMT-16","config":"A","servers":2,"gbs":64})"
+       << "\n";
+    in << R"({"kind":"plan","id":"bad","model":"NoSuchModel","config":"A","servers":2,"gbs":64})"
+       << "\n";
+    in << "{truncated\n";
+    in << R"({"kind":"stats","id":"st"})" << "\n";
+  }
+
+  // Serial run: batch dispatch is in-order, so cache hit counts are exact
+  // (with a pool, identical requests in one batch may race and both miss).
+  const std::string command = std::string(DAPPLE_CLI_PATH) +
+                              " serve --stdio --workers 1 --cache-entries 64 < " +
+                              in_path + " > " + out_path + " 2> " + err_path;
+  const int status = std::system(command.c_str());
+  ASSERT_EQ(WEXITSTATUS(status), 0) << ReadFile(err_path);
+
+  const std::vector<std::string> lines = SplitLines(ReadFile(out_path));
+  ASSERT_EQ(lines.size(), 8u) << ReadFile(out_path);
+
+  // The three identical plan requests return byte-identical documents
+  // modulo nothing — same id, same body.
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos) << lines[0];
+  EXPECT_EQ(lines[0], lines[1]);
+  EXPECT_EQ(lines[0], lines[2]);
+  EXPECT_NE(lines[0].find("\"fingerprint\":\"fp:"), std::string::npos);
+
+  EXPECT_NE(lines[3].find("\"id\":\"p2\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"ok\":true"), std::string::npos) << lines[3];
+  EXPECT_NE(lines[4].find("\"simulated_latency\""), std::string::npos) << lines[4];
+  EXPECT_NE(lines[5].find("\"code\":\"unknown_model\""), std::string::npos) << lines[5];
+  EXPECT_NE(lines[6].find("\"code\":\"parse_error\""), std::string::npos) << lines[6];
+
+  // Stats must show a warm cache: the duplicate plans and the simulate hit.
+  const std::string& stats = lines[7];
+  EXPECT_NE(stats.find("\"id\":\"st\""), std::string::npos);
+  EXPECT_EQ(stats.find("\"hits\":0,"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"hits\":3"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"misses\":2"), std::string::npos) << stats;
+
+  // The daemon's exit summary reports the hit rate on stderr.
+  EXPECT_NE(ReadFile(err_path).find("hit rate"), std::string::npos);
+
+  // Concurrent-client determinism, end to end: the same script through a
+  // 4-worker daemon must produce byte-identical responses (the stats line
+  // is excluded — it reports wall-clock latencies).
+  const std::string pooled_out = TempPath("out4.ndjson");
+  const std::string pooled_command = std::string(DAPPLE_CLI_PATH) +
+                                     " serve --stdio --workers 4 --cache-entries 64 < " +
+                                     in_path + " > " + pooled_out + " 2> /dev/null";
+  ASSERT_EQ(WEXITSTATUS(std::system(pooled_command.c_str())), 0);
+  const std::vector<std::string> pooled_lines = SplitLines(ReadFile(pooled_out));
+  ASSERT_EQ(pooled_lines.size(), 8u);
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    EXPECT_EQ(lines[i], pooled_lines[i]) << "line " << i;
+  }
+
+  std::remove(in_path.c_str());
+  std::remove(out_path.c_str());
+  std::remove(pooled_out.c_str());
+  std::remove(err_path.c_str());
+}
+
+}  // namespace

@@ -28,6 +28,7 @@ benches=(
   bench_planner_scale
   bench_sim_engine
   bench_memory_cap
+  bench_serve
 )
 
 echo "=== configure ${build}"
@@ -38,7 +39,12 @@ cmake --build "${build}" -j "${jobs}" --target "${benches[@]}" >/dev/null
 mkdir -p "${json_dir}"
 for bench in "${benches[@]}"; do
   echo "=== ${bench}"
-  DAPPLE_BENCH_JSON_DIR="${json_dir}" "${build}/bench/${bench}" >/dev/null
+  args=()
+  # The serve bench's full worker sweep is sized for real multi-core hosts;
+  # the trajectory archive only needs the quick sweep's rows (which still
+  # enforce the warm>=10x and byte-identity acceptance checks).
+  if [ "${bench}" = bench_serve ]; then args=(--quick); fi
+  DAPPLE_BENCH_JSON_DIR="${json_dir}" "${build}/bench/${bench}" ${args[@]+"${args[@]}"} >/dev/null
 done
 
 echo "=== bench json archived in ${json_dir}:"

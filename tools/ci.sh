@@ -12,8 +12,10 @@
 #                    randomized sweeps and the `-L golden` byte-stability
 #                    tests (pushes to main)
 #   perf-smoke     — `ctest -L perf-smoke`: the planner and simulator
-#                    determinism sweeps, the --quick planner-scaling and
-#                    sim-engine benches, and reduced fuzz sweeps — the
+#                    determinism sweeps, the --quick planner-scaling,
+#                    sim-engine and serve benches, the serve daemon smoke
+#                    (scripted request mix against a spawned
+#                    `dapple serve`), and reduced fuzz sweeps — the
 #                    schedule-family sweep covering every ScheduleKind and
 #                    the memory-cap sweep (plan under a random per-device
 #                    cap -> refuse or fit, never OOM) (seconds; runs on

@@ -30,20 +30,96 @@
 //       generator) and measure what each recovery policy salvages. The
 //       per-policy experiments are independent, so --sim-threads fans them
 //       across a worker pool with byte-identical reports at every N.
+//   dapple serve [--stdio] [--socket PATH] [--tcp PORT] [--workers N]
+//              [--cache-entries N] [--max-batch N] [--max-connections N]
+//       Run the planner as a service: newline-delimited JSON requests in,
+//       one response per line out, answered from a fingerprint-keyed LRU
+//       plan cache. See src/serve/protocol.h for the request schema.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
 #include "common/table.h"
 #include "dapple/dapple.h"
+#include "serve/server.h"
+#include "serve/transport.h"
 #include "sim/chrome_trace.h"
 
 using namespace dapple;
 
 namespace {
+
+/// Shared flag scanner for the subcommands (they all speak the same
+/// `--flag [value]` dialect). Use in an if/else chain per token:
+///
+///   FlagParser flags(argc, argv);
+///   while (!flags.Done()) {
+///     if (flags.MatchValue("--save", &v)) save_path = v;
+///     else if (flags.Match("--gantt")) gantt = true;
+///     else flags.Unknown();
+///   }
+///   if (!flags.ok()) return Usage();
+///
+/// Errors (unknown flag, missing value) print one diagnostic to stderr,
+/// mark the parser failed and stop the scan; branch bodies never run on a
+/// half-consumed flag.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  /// True when no tokens remain or an error was recorded.
+  bool Done() const { return !ok_ || i_ >= argc_; }
+  bool ok() const { return ok_; }
+
+  /// Consumes `name` when it is the current token (a value-less flag).
+  bool Match(const char* name) {
+    if (Done() || std::strcmp(argv_[i_], name) != 0) return false;
+    ++i_;
+    return true;
+  }
+
+  /// Consumes `name <value>`; a missing value records an error.
+  bool MatchValue(const char* name, std::string* value) {
+    if (Done() || std::strcmp(argv_[i_], name) != 0) return false;
+    if (i_ + 1 >= argc_) {
+      std::fprintf(stderr, "flag %s requires a value\n", name);
+      ok_ = false;
+      ++i_;
+      return false;
+    }
+    ++i_;
+    *value = argv_[i_++];
+    return true;
+  }
+
+  /// Consumes the `--name=value` spelling given prefix "--name=".
+  bool MatchPrefix(const char* prefix, std::string* value) {
+    if (Done()) return false;
+    const std::size_t len = std::strlen(prefix);
+    if (std::strncmp(argv_[i_], prefix, len) != 0) return false;
+    *value = argv_[i_] + len;
+    ++i_;
+    return true;
+  }
+
+  /// Ends an if/else chain: the current token matched nothing.
+  void Unknown() {
+    if (Done()) return;
+    std::fprintf(stderr, "unknown flag %s\n", argv_[i_]);
+    ok_ = false;
+    ++i_;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  int i_ = 0;
+  bool ok_ = true;
+};
 
 int Usage() {
   std::fprintf(stderr,
@@ -69,7 +145,13 @@ int Usage() {
                "              [--json FILE] [--trace FILE.json]\n"
                "              [--planner-threads N] [--sim-threads N]\n"
                "              (--sim-threads fans independent simulations over a\n"
-               "               worker pool; output is identical at every N)\n");
+               "               worker pool; output is identical at every N)\n"
+               "  dapple serve [--stdio] [--socket PATH] [--tcp PORT]\n"
+               "              [--workers N] [--cache-entries N] [--max-batch N]\n"
+               "              [--max-connections N]\n"
+               "              (newline-delimited JSON requests; responses come\n"
+               "               back in request order, byte-identical at every\n"
+               "               worker count; --stdio is the default transport)\n");
   return 2;
 }
 
@@ -93,24 +175,24 @@ int CmdPlan(int argc, char** argv) {
   const model::ModelProfile m = model::ModelByName(argv[0]);
   const topo::Cluster cluster = ClusterFor(argv[1][0], std::atoi(argv[2]));
   const long gbs = std::atol(argv[3]);
-  std::string save_path;
+  std::string save_path, v;
   planner::PlannerOptions planner_options;
-  for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
-      save_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--planner-threads") == 0 && i + 1 < argc) {
-      planner_options.num_threads = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--memory-cap") == 0 && i + 1 < argc) {
-      planner_options.memory_cap = ParseBytes(argv[++i]);
-    } else if (std::strncmp(argv[i], "--recompute=", 12) == 0) {
-      planner_options.recompute = planner::ParseRecomputePolicy(argv[i] + 12);
-    } else if (std::strcmp(argv[i], "--recompute") == 0 && i + 1 < argc) {
-      planner_options.recompute = planner::ParseRecomputePolicy(argv[++i]);
+  FlagParser flags(argc - 4, argv + 4);
+  while (!flags.Done()) {
+    if (flags.MatchValue("--save", &v)) {
+      save_path = v;
+    } else if (flags.MatchValue("--planner-threads", &v)) {
+      planner_options.num_threads = std::atoi(v.c_str());
+    } else if (flags.MatchValue("--memory-cap", &v)) {
+      planner_options.memory_cap = ParseBytes(v);
+    } else if (flags.MatchPrefix("--recompute=", &v) ||
+               flags.MatchValue("--recompute", &v)) {
+      planner_options.recompute = planner::ParseRecomputePolicy(v);
     } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return Usage();
+      flags.Unknown();
     }
   }
+  if (!flags.ok()) return Usage();
 
   Session session(m, cluster);
   const auto planned = session.Plan(gbs, planner_options);
@@ -146,31 +228,32 @@ int CmdRun(int argc, char** argv) {
   const topo::Cluster cluster = ClusterFor(argv[1][0], std::atoi(argv[2]));
   const long gbs = std::atol(argv[3]);
 
-  std::string plan_path, trace_path;
+  std::string plan_path, trace_path, v;
   runtime::BuildOptions options;
   options.global_batch_size = gbs;
   bool gantt = false;
-  for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
-      plan_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
-      if (!runtime::ParseScheduleKind(argv[++i], &options.schedule.kind)) {
-        std::fprintf(stderr, "unknown schedule kind '%s'\n", argv[i]);
+  FlagParser flags(argc - 4, argv + 4);
+  while (!flags.Done()) {
+    if (flags.MatchValue("--plan", &v)) {
+      plan_path = v;
+    } else if (flags.MatchValue("--trace", &v)) {
+      trace_path = v;
+    } else if (flags.MatchValue("--schedule", &v)) {
+      if (!runtime::ParseScheduleKind(v, &options.schedule.kind)) {
+        std::fprintf(stderr, "unknown schedule kind '%s'\n", v.c_str());
         return Usage();
       }
-    } else if (std::strcmp(argv[i], "--recompute") == 0) {
+    } else if (flags.Match("--recompute")) {
       options.schedule.recompute = true;
-    } else if (std::strcmp(argv[i], "--memory-cap") == 0 && i + 1 < argc) {
-      options.memory_cap = ParseBytes(argv[++i]);
-    } else if (std::strcmp(argv[i], "--gantt") == 0) {
+    } else if (flags.MatchValue("--memory-cap", &v)) {
+      options.memory_cap = ParseBytes(v);
+    } else if (flags.Match("--gantt")) {
       gantt = true;
     } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return Usage();
+      flags.Unknown();
     }
   }
+  if (!flags.ok()) return Usage();
 
   Session session(m, cluster);
   planner::ParallelPlan plan;
@@ -257,13 +340,16 @@ int WriteJsonFile(const std::string& path, const std::string& json) {
 int CmdReport(int argc, char** argv) {
   std::string json_path;
   if (argc >= 1 && std::strcmp(argv[0], "--fig3") == 0) {
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-        json_path = argv[++i];
+    std::string v;
+    FlagParser flags(argc - 1, argv + 1);
+    while (!flags.Done()) {
+      if (flags.MatchValue("--json", &v)) {
+        json_path = v;
       } else {
-        return Usage();
+        flags.Unknown();
       }
     }
+    if (!flags.ok()) return Usage();
     const Fig3Example ex;
     runtime::PipelineExecutor executor(ex.model, ex.cluster, ex.plan, ex.options);
     const runtime::ExecutionDetail detail = executor.RunDetailed();
@@ -279,38 +365,39 @@ int CmdReport(int argc, char** argv) {
   const topo::Cluster cluster = ClusterFor(argv[1][0], std::atoi(argv[2]));
   const long gbs = std::atol(argv[3]);
 
-  std::string plan_path;
+  std::string plan_path, v;
   std::vector<int> curve_counts;
   int sim_threads = 1;
   runtime::BuildOptions options;
   options.global_batch_size = gbs;
-  for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
-      plan_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
-      if (!runtime::ParseScheduleKind(argv[++i], &options.schedule.kind)) {
-        std::fprintf(stderr, "unknown schedule kind '%s'\n", argv[i]);
+  FlagParser flags(argc - 4, argv + 4);
+  while (!flags.Done()) {
+    if (flags.MatchValue("--plan", &v)) {
+      plan_path = v;
+    } else if (flags.MatchValue("--json", &v)) {
+      json_path = v;
+    } else if (flags.MatchValue("--schedule", &v)) {
+      if (!runtime::ParseScheduleKind(v, &options.schedule.kind)) {
+        std::fprintf(stderr, "unknown schedule kind '%s'\n", v.c_str());
         return Usage();
       }
-    } else if (std::strcmp(argv[i], "--recompute") == 0) {
+    } else if (flags.Match("--recompute")) {
       options.schedule.recompute = true;
-    } else if (std::strcmp(argv[i], "--memory-cap") == 0 && i + 1 < argc) {
-      options.memory_cap = ParseBytes(argv[++i]);
-    } else if (std::strcmp(argv[i], "--peak-vs-m") == 0 && i + 1 < argc) {
-      for (const char* p = argv[++i]; *p;) {
+    } else if (flags.MatchValue("--memory-cap", &v)) {
+      options.memory_cap = ParseBytes(v);
+    } else if (flags.MatchValue("--peak-vs-m", &v)) {
+      for (const char* p = v.c_str(); *p;) {
         curve_counts.push_back(std::atoi(p));
         while (*p && *p != ',') ++p;
         if (*p == ',') ++p;
       }
-    } else if (std::strcmp(argv[i], "--sim-threads") == 0 && i + 1 < argc) {
-      sim_threads = std::atoi(argv[++i]);
+    } else if (flags.MatchValue("--sim-threads", &v)) {
+      sim_threads = std::atoi(v.c_str());
     } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return Usage();
+      flags.Unknown();
     }
   }
+  if (!flags.ok()) return Usage();
 
   Session session(m, cluster);
   planner::ParallelPlan plan;
@@ -361,41 +448,43 @@ int CmdFaults(int argc, char** argv) {
   const topo::Cluster cluster = ClusterFor(argv[1][0], std::atoi(argv[2]));
   const long gbs = std::atol(argv[3]);
 
-  std::string plan_path, json_path, trace_path, script_path, script_text, policy_arg = "all";
+  std::string plan_path, json_path, trace_path, script_path, script_text, v;
+  std::string policy_arg = "all";
   bool seeded = false;
   std::uint64_t seed = 0;
   int sim_threads = 1;
   fault::FaultOptions options;
   options.build.global_batch_size = gbs;
-  for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
-      plan_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
-      policy_arg = argv[++i];
-    } else if (std::strcmp(argv[i], "--script") == 0 && i + 1 < argc) {
-      script_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--script-text") == 0 && i + 1 < argc) {
-      script_text = argv[++i];
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+  FlagParser flags(argc - 4, argv + 4);
+  while (!flags.Done()) {
+    if (flags.MatchValue("--plan", &v)) {
+      plan_path = v;
+    } else if (flags.MatchValue("--policy", &v)) {
+      policy_arg = v;
+    } else if (flags.MatchValue("--script", &v)) {
+      script_path = v;
+    } else if (flags.MatchValue("--script-text", &v)) {
+      script_text = v;
+    } else if (flags.MatchValue("--seed", &v)) {
       seeded = true;
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--horizon") == 0 && i + 1 < argc) {
-      options.horizon = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--checkpoint-period") == 0 && i + 1 < argc) {
-      options.checkpoint_period = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--planner-threads") == 0 && i + 1 < argc) {
-      options.planner.num_threads = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--sim-threads") == 0 && i + 1 < argc) {
-      sim_threads = std::atoi(argv[++i]);
+      seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flags.MatchValue("--horizon", &v)) {
+      options.horizon = std::atof(v.c_str());
+    } else if (flags.MatchValue("--checkpoint-period", &v)) {
+      options.checkpoint_period = std::atoi(v.c_str());
+    } else if (flags.MatchValue("--json", &v)) {
+      json_path = v;
+    } else if (flags.MatchValue("--trace", &v)) {
+      trace_path = v;
+    } else if (flags.MatchValue("--planner-threads", &v)) {
+      options.planner.num_threads = std::atoi(v.c_str());
+    } else if (flags.MatchValue("--sim-threads", &v)) {
+      sim_threads = std::atoi(v.c_str());
     } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return Usage();
+      flags.Unknown();
     }
   }
+  if (!flags.ok()) return Usage();
 
   fault::FaultScript script;
   if (!script_path.empty()) {
@@ -467,6 +556,63 @@ int CmdFaults(int argc, char** argv) {
   return 0;
 }
 
+int CmdServe(int argc, char** argv) {
+  serve::ServerOptions options;
+  std::string socket_path, v;
+  int tcp_port = -1;
+  int max_connections = 0;
+  bool stdio = false;
+  FlagParser flags(argc, argv);
+  while (!flags.Done()) {
+    if (flags.Match("--stdio")) {
+      stdio = true;
+    } else if (flags.MatchValue("--socket", &v)) {
+      socket_path = v;
+    } else if (flags.MatchValue("--tcp", &v)) {
+      tcp_port = std::atoi(v.c_str());
+    } else if (flags.MatchValue("--workers", &v)) {
+      options.workers = std::atoi(v.c_str());
+    } else if (flags.MatchValue("--cache-entries", &v)) {
+      options.cache_entries = std::atol(v.c_str());
+    } else if (flags.MatchValue("--max-batch", &v)) {
+      options.max_batch = std::atoi(v.c_str());
+    } else if (flags.MatchValue("--max-connections", &v)) {
+      max_connections = std::atoi(v.c_str());
+    } else {
+      flags.Unknown();
+    }
+  }
+  if (!flags.ok()) return Usage();
+  if (stdio && (!socket_path.empty() || tcp_port >= 0)) {
+    std::fprintf(stderr, "pick one transport: --stdio, --socket or --tcp\n");
+    return Usage();
+  }
+
+  serve::Server server(options);
+  long handled = 0;
+  if (!socket_path.empty()) {
+    std::fprintf(stderr, "dapple serve: %d workers, cache %ld entries, unix socket %s\n",
+                 server.workers(), options.cache_entries, socket_path.c_str());
+    handled = serve::ServeUnixSocket(socket_path, server, max_connections);
+  } else if (tcp_port >= 0) {
+    std::fprintf(stderr, "dapple serve: %d workers, cache %ld entries, tcp 127.0.0.1:%d\n",
+                 server.workers(), options.cache_entries, tcp_port);
+    handled = serve::ServeTcp(tcp_port, server, max_connections);
+  } else {
+    handled = serve::ServeStream(std::cin, std::cout, server);
+  }
+
+  const serve::ServerStats stats = server.Stats();
+  std::fprintf(stderr,
+               "served %ld requests (%lld errors) | plan cache %lld hits / %lld misses "
+               "(%.0f%% hit rate), %lld evictions\n",
+               handled, static_cast<long long>(stats.errors),
+               static_cast<long long>(stats.cache.hits),
+               static_cast<long long>(stats.cache.misses), 100.0 * stats.cache.hit_rate(),
+               static_cast<long long>(stats.cache.evictions));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -477,6 +623,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "run") == 0) return CmdRun(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "report") == 0) return CmdReport(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "faults") == 0) return CmdFaults(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "serve") == 0) return CmdServe(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
