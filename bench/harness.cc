@@ -1,8 +1,11 @@
 #include "harness.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <vector>
 
@@ -169,6 +172,22 @@ void PrintComparison(const std::string& metric, const std::string& paper,
   JsonRecord& rec = Record();
   std::lock_guard<std::mutex> lock(rec.mu);
   rec.comparisons.push_back({metric, paper, measured});
+}
+
+double TimeWarmedPasses(int reps, const std::function<void()>& pass) {
+  pass();  // untimed warmup
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) pass();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double TimeWarmedPassesBestOf(int trials, int reps, const std::function<void()>& pass) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < std::max(trials, 1); ++trial) {
+    best = std::min(best, TimeWarmedPasses(reps, pass));
+  }
+  return best;
 }
 
 }  // namespace dapple::bench

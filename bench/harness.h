@@ -4,6 +4,7 @@
 // measured presentation.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,19 @@ void PrintHeader(const std::string& title, const std::string& paper_anchor);
 /// Prints a paper-vs-measured comparison line.
 void PrintComparison(const std::string& metric, const std::string& paper,
                      const std::string& measured);
+
+/// Wall seconds of `reps` identical passes of `pass`, measured after one
+/// untimed warmup pass. The warmup populates per-engine arenas, SoA
+/// flatten scratch and allocator caches, so per-row engine comparisons
+/// time steady-state throughput instead of charging first-pass allocation
+/// to whichever engine happens to run first.
+double TimeWarmedPasses(int reps, const std::function<void()>& pass);
+
+/// Minimum of `trials` TimeWarmedPasses measurements. Engine-vs-engine
+/// ratio rows use the best-of so a scheduler hiccup in one trial cannot
+/// fail a floor assertion; the minimum is the standard low-noise estimator
+/// for deterministic CPU-bound work.
+double TimeWarmedPassesBestOf(int trials, int reps, const std::function<void()>& pass);
 
 // Every PrintHeader / PrintComparison / Evaluate call is also recorded; when
 // DAPPLE_BENCH_JSON_DIR is set, the process writes the accumulated record to

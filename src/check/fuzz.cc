@@ -1,6 +1,7 @@
 #include "check/fuzz.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -10,8 +11,10 @@
 #include "fault/degrade.h"
 #include "planner/dp_planner.h"
 #include "planner/latency.h"
+#include "planner/prefilter.h"
 #include "sim/batch.h"
 #include "sim/engine.h"
+#include "sim/soa.h"
 #include "topo/device_set.h"
 
 namespace dapple::check {
@@ -435,6 +438,109 @@ FaultFuzzOutcome RunFaultFuzzCase(const FaultFuzzCase& c) {
   return out;
 }
 
+std::string RankingFuzzCase::Describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " model=" << model.num_layers() << "L/pmb"
+     << model.profile_micro_batch() << " cluster=" << cluster.name() << "("
+     << cluster.num_devices() << ") candidates=" << candidates.size()
+     << " gbs=" << options.global_batch_size << " "
+     << runtime::ToString(options.schedule.warmup)
+     << (options.schedule.recompute ? "/recompute" : "");
+  return os.str();
+}
+
+RankingFuzzCase MakeRankingFuzzCase(std::uint64_t seed, int num_candidates) {
+  // Own salted stream (same mixing as the fault/memory-cap side-streams),
+  // so adding this mode never shifted the pinned seeds of the others.
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x94d049bb133111ebull);
+  model::ModelProfile model = RandomModel(rng);
+  topo::Cluster cluster = RandomCluster(rng);
+
+  // Pin the schedule family the analytic/sim brackets are calibrated for:
+  // split-mode DAPPLE, policy warmup depths (no override), uncapped pools.
+  runtime::BuildOptions options;
+  options.global_batch_size = rng.UniformInt(1, 6) * 4 * model.profile_micro_batch();
+  options.schedule.kind = runtime::ScheduleKind::kDapple;
+  options.schedule.warmup = rng.Bernoulli(0.5) ? runtime::WarmupPolicy::kPA
+                                               : runtime::WarmupPolicy::kPB;
+  options.schedule.recompute = rng.Bernoulli(0.3);
+  options.replication = runtime::ReplicationMode::kSplitMicroBatch;
+  options.enforce_memory_capacity = false;
+  options.overlap_allreduce = rng.Bernoulli(0.5);
+
+  std::vector<planner::ParallelPlan> candidates;
+  candidates.reserve(static_cast<std::size_t>(num_candidates));
+  for (int i = 0; i < num_candidates; ++i) {
+    candidates.push_back(RandomPlan(rng, model, cluster));
+  }
+  return RankingFuzzCase{seed, std::move(model), std::move(cluster),
+                         std::move(candidates), std::move(options)};
+}
+
+std::string RankingFuzzOutcome::Summary() const {
+  if (ok()) return "";
+  std::ostringstream os;
+  os << "seed " << seed << ": prefilter recall violation — prefiltered best #"
+     << best_prefiltered << " makespan " << best_prefiltered_makespan
+     << " vs full-sweep best #" << best_full << " makespan " << best_full_makespan
+     << " (" << num_simulated << "/" << num_candidates << " simulated)";
+  return os.str();
+}
+
+RankingFuzzOutcome RunRankingFuzzCase(const RankingFuzzCase& c, bool prefilter) {
+  RankingFuzzOutcome out;
+  out.seed = c.seed;
+  out.num_candidates = static_cast<int>(c.candidates.size());
+
+  // Exactly the estimator configuration RunFuzzCase's latency bracket is
+  // checked with — the band guarantee inherits that calibration.
+  planner::LatencyOptions lo;
+  lo.check_memory = false;
+  lo.overlap_allreduce = c.options.overlap_allreduce;
+  lo.recompute = c.options.schedule.recompute;
+  lo.recompute_overhead = c.options.schedule.recompute_overhead;
+  const planner::LatencyEstimator estimator(c.model, c.cluster, lo);
+
+  std::vector<planner::RankingCandidate> candidates;
+  candidates.reserve(c.candidates.size());
+  for (const planner::ParallelPlan& plan : c.candidates) {
+    candidates.push_back({plan, c.options.global_batch_size});
+  }
+
+  // A candidate whose build or simulation throws never wins either leg.
+  const auto simulate = [&](int i) -> double {
+    try {
+      const runtime::BuiltPipeline built =
+          runtime::GraphBuilder(c.model, c.cluster,
+                                c.candidates[static_cast<std::size_t>(i)], c.options)
+              .Build();
+      return sim::SoaEngine::Run(built.graph, built.engine_options).makespan;
+    } catch (const std::exception&) {
+      return std::numeric_limits<double>::infinity();
+    }
+  };
+
+  planner::RankingOptions ro;
+  ro.prefilter = prefilter;
+  const planner::RankingResult pre =
+      planner::RankCandidates(estimator, candidates, simulate, ro);
+  ro.prefilter = false;
+  const planner::RankingResult full =
+      planner::RankCandidates(estimator, candidates, simulate, ro);
+
+  out.num_simulated = static_cast<int>(pre.sim.simulated.size());
+  out.best_prefiltered = pre.best;
+  out.best_full = full.best;
+  out.best_prefiltered_makespan = pre.sim.best_value;
+  out.best_full_makespan = full.sim.best_value;
+  // Bit-exact value comparison, not index: exact ties may legitimately
+  // resolve to different candidates.
+  out.recall_ok = full.best < 0
+                      ? pre.best < 0
+                      : pre.best >= 0 && pre.sim.best_value == full.sim.best_value;
+  return out;
+}
+
 FuzzOutcome RunFuzzCase(const FuzzCase& c) {
   FuzzOutcome out;
   out.seed = c.seed;
@@ -525,6 +631,14 @@ std::vector<FaultFuzzOutcome> RunFaultFuzzSweep(const std::vector<std::uint64_t>
   sim::BatchRunner runner({.threads = threads});
   return runner.Map<FaultFuzzOutcome>(static_cast<int>(seeds.size()), [&](int i) {
     return RunFaultFuzzSeed(seeds[static_cast<std::size_t>(i)]);
+  });
+}
+
+std::vector<RankingFuzzOutcome> RunRankingFuzzSweep(
+    const std::vector<std::uint64_t>& seeds, int threads, bool prefilter) {
+  sim::BatchRunner runner({.threads = threads});
+  return runner.Map<RankingFuzzOutcome>(static_cast<int>(seeds.size()), [&](int i) {
+    return RunRankingFuzzSeed(seeds[static_cast<std::size_t>(i)], prefilter);
   });
 }
 

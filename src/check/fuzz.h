@@ -201,6 +201,57 @@ inline MemoryCapFuzzOutcome RunMemoryCapFuzzSeed(std::uint64_t seed) {
   return RunMemoryCapFuzzCase(MakeMemoryCapFuzzCase(seed));
 }
 
+/// One candidate-ranking configuration: a fixed (model, cluster, global
+/// batch) plus `num_candidates` random plans, all built as split-mode
+/// DAPPLE schedules without a warmup override — exactly the family whose
+/// analytic/sim brackets (the tolerances above) are pinned by the fuzz
+/// harness, so the prefilter's band guarantee applies to every candidate.
+/// Aggregate-constructed by MakeRankingFuzzCase on its own salted
+/// side-stream (pinned seeds of the other streams never shift).
+struct RankingFuzzCase {
+  std::uint64_t seed;
+  model::ModelProfile model;
+  topo::Cluster cluster;
+  std::vector<planner::ParallelPlan> candidates;
+  runtime::BuildOptions options;
+
+  std::string Describe() const;
+};
+
+RankingFuzzCase MakeRankingFuzzCase(std::uint64_t seed, int num_candidates = 24);
+
+/// The prefilter recall property, observed on one case: ranking the
+/// candidates with the analytic pre-filter on must land on a candidate
+/// whose simulated makespan equals (bit-exactly) the best makespan over
+/// every feasible candidate simulated in full.
+struct RankingFuzzOutcome {
+  std::uint64_t seed = 0;
+  int num_candidates = 0;
+  /// Candidates the prefiltered leg actually simulated (<= num_candidates).
+  int num_simulated = 0;
+  int best_prefiltered = -1;
+  int best_full = -1;
+  TimeSec best_prefiltered_makespan = 0.0;
+  TimeSec best_full_makespan = 0.0;
+  /// Rank-1 recall: the prefiltered winner's makespan equals the full-sweep
+  /// winner's (index may differ only between exact ties).
+  bool recall_ok = true;
+
+  bool ok() const { return recall_ok; }
+  /// Failure summary including the seed; empty when ok().
+  std::string Summary() const;
+};
+
+/// Runs one ranking case twice — prefilter on, then the full-simulation
+/// oracle — and compares the winners. `prefilter = false` disables the
+/// band in the first leg too (the --prefilter=off knob): every feasible
+/// candidate simulates in both legs and recall holds trivially.
+RankingFuzzOutcome RunRankingFuzzCase(const RankingFuzzCase& c, bool prefilter = true);
+
+inline RankingFuzzOutcome RunRankingFuzzSeed(std::uint64_t seed, bool prefilter = true) {
+  return RunRankingFuzzCase(MakeRankingFuzzCase(seed), prefilter);
+}
+
 /// Runs every seed through RunFuzzSeed on a sim::BatchRunner with
 /// `threads` workers (1 = inline serial, 0 = hardware concurrency).
 /// Outcome i corresponds to seeds[i] and every byte of it is identical at
@@ -215,5 +266,11 @@ std::vector<MemoryCapFuzzOutcome> RunMemoryCapFuzzSweep(
 /// Same driver for fault-recovery cases (RunFaultFuzzSeed).
 std::vector<FaultFuzzOutcome> RunFaultFuzzSweep(const std::vector<std::uint64_t>& seeds,
                                                 int threads = 1);
+
+/// Same driver for ranking cases (RunRankingFuzzSeed). Each case's two legs
+/// run their candidate simulations serially inside the case, so sweep-level
+/// parallelism stays at the case granularity.
+std::vector<RankingFuzzOutcome> RunRankingFuzzSweep(
+    const std::vector<std::uint64_t>& seeds, int threads = 1, bool prefilter = true);
 
 }  // namespace dapple::check

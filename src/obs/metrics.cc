@@ -39,10 +39,14 @@ double Histogram::Quantile(double q) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  // Rank of the requested order statistic, then walk the cumulative bucket
-  // counts to the bucket containing it.
-  const std::int64_t rank =
-      static_cast<std::int64_t>(q * static_cast<double>(count_ - 1));
+  // Nearest-rank order statistic: the smallest sample with cumulative
+  // frequency >= q, i.e. zero-based rank ceil(q * count) - 1. Floor-based
+  // ranks undershoot on small counts — p99 of two samples must be the
+  // upper one, not the lower.
+  const std::int64_t rank = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(
+          std::ceil(q * static_cast<double>(count_))) - 1,
+      0, count_ - 1);
   std::int64_t cumulative = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
     cumulative += buckets_[i];

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "common/table.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "runtime/schedule.h"
 #include "sim/batch.h"
+#include "sim/soa.h"
 
 namespace dapple::obs {
 
@@ -409,7 +413,7 @@ std::vector<PeakVsMPoint> PeakVsMCurve(const model::ModelProfile& model,
                                        const planner::ParallelPlan& plan,
                                        runtime::BuildOptions options,
                                        const std::vector<int>& micro_batch_counts,
-                                       int sim_threads) {
+                                       const PeakVsMOptions& curve_options) {
   // Resolve the micro-batch size once so every point runs identical
   // per-micro-batch work and only M varies.
   const runtime::BuiltPipeline base =
@@ -421,20 +425,88 @@ std::vector<PeakVsMPoint> PeakVsMCurve(const model::ModelProfile& model,
   for (int m : micro_batch_counts) {
     if (m >= 1) counts.push_back(m);
   }
+  const int n = static_cast<int>(counts.size());
 
-  // Each point builds and simulates an independent pipeline, so the curve
-  // fans out cleanly; slot-indexed results keep it byte-identical to the
-  // serial loop at every thread count.
-  sim::BatchRunner runner({.threads = sim_threads});
-  return runner.Map<PeakVsMPoint>(static_cast<int>(counts.size()), [&](int i) {
-    runtime::BuildOptions point_options = options;
-    point_options.global_batch_size =
-        static_cast<long>(base.micro_batch_size) * counts[static_cast<std::size_t>(i)];
-    const runtime::BuiltPipeline built =
-        runtime::GraphBuilder(model, cluster, plan, point_options).Build();
-    const sim::SimResult result = sim::Engine::Run(built.graph, built.engine_options);
-    return PeakVsMPoint{built.num_micro_batches, result.MaxPeakMemory()};
-  });
+  // Every point is built (cheap, and the build is what knows the exact
+  // per-stage warmup depths); slot-indexed results keep the curve
+  // byte-identical to the serial loop at every thread count.
+  sim::BatchRunner runner({.threads = curve_options.sim_threads});
+  std::vector<runtime::BuiltPipeline> builds =
+      runner.Map<runtime::BuiltPipeline>(n, [&](int i) {
+        runtime::BuildOptions point_options = options;
+        point_options.global_batch_size =
+            static_cast<long>(base.micro_batch_size) *
+            counts[static_cast<std::size_t>(i)];
+        return runtime::GraphBuilder(model, cluster, plan, point_options).Build();
+      });
+
+  // The simulation pre-filter: a point whose stash discipline — per-stage
+  // warmup depths plus recompute flags at the fixed micro-batch size —
+  // matches an earlier point holds exactly the same stash sets, so its peak
+  // equals the earlier point's and the simulation is provably redundant.
+  // DAPPLE saturates warmup at M >= S - i and collapses to one simulation;
+  // GPipe's depth is M itself, so nothing ever dedups. Points are grouped
+  // in curve order, making the representative choice deterministic.
+  std::vector<int> rep_of(static_cast<std::size_t>(n));
+  std::vector<int> reps;
+  reps.reserve(static_cast<std::size_t>(n));
+  if (curve_options.prefilter) {
+    std::map<std::pair<std::vector<int>, std::vector<std::uint8_t>>, int> seen;
+    for (int i = 0; i < n; ++i) {
+      const runtime::BuiltPipeline& b = builds[static_cast<std::size_t>(i)];
+      if (b.warmup_depths.empty()) {
+        // No discipline signature — never dedup such a point.
+        rep_of[static_cast<std::size_t>(i)] = i;
+        reps.push_back(i);
+        continue;
+      }
+      const auto [it, inserted] =
+          seen.try_emplace({b.warmup_depths, b.stage_recompute}, i);
+      rep_of[static_cast<std::size_t>(i)] = it->second;
+      if (inserted) reps.push_back(i);
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      rep_of[static_cast<std::size_t>(i)] = i;
+      reps.push_back(i);
+    }
+  }
+
+  const std::vector<Bytes> peaks =
+      runner.Map<Bytes>(static_cast<int>(reps.size()), [&](int r) {
+        const runtime::BuiltPipeline& b =
+            builds[static_cast<std::size_t>(reps[static_cast<std::size_t>(r)])];
+        return sim::SoaEngine::Run(b.graph, b.engine_options).MaxPeakMemory();
+      });
+  std::vector<Bytes> peak_of(static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < reps.size(); ++r) {
+    peak_of[static_cast<std::size_t>(reps[r])] = peaks[r];
+  }
+
+  auto& metrics = MetricsRegistry::Global();
+  metrics.counter("prefilter.peak_vs_m.simulated")
+      .Increment(static_cast<std::int64_t>(reps.size()));
+  metrics.counter("prefilter.peak_vs_m.skipped")
+      .Increment(static_cast<std::int64_t>(n) - static_cast<std::int64_t>(reps.size()));
+
+  std::vector<PeakVsMPoint> curve;
+  curve.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    curve.push_back(PeakVsMPoint{
+        builds[static_cast<std::size_t>(i)].num_micro_batches,
+        peak_of[static_cast<std::size_t>(rep_of[static_cast<std::size_t>(i)])]});
+  }
+  return curve;
+}
+
+std::vector<PeakVsMPoint> PeakVsMCurve(const model::ModelProfile& model,
+                                       const topo::Cluster& cluster,
+                                       const planner::ParallelPlan& plan,
+                                       runtime::BuildOptions options,
+                                       const std::vector<int>& micro_batch_counts,
+                                       int sim_threads) {
+  return PeakVsMCurve(model, cluster, plan, std::move(options), micro_batch_counts,
+                      PeakVsMOptions{.sim_threads = sim_threads});
 }
 
 }  // namespace dapple::obs

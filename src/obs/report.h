@@ -157,11 +157,33 @@ struct PeakVsMPoint {
   Bytes max_peak_memory = 0;
 };
 
+struct PeakVsMOptions {
+  /// Worker threads for the per-point builds and simulations (1 = serial,
+  /// 0 = hardware concurrency). The curve is byte-identical at every count.
+  int sim_threads = 1;
+  /// Skip simulating M points whose stash discipline provably repeats an
+  /// already-simulated point: every point is still built, and two points
+  /// with identical per-stage warmup depths and recompute flags (at the
+  /// fixed micro-batch size) hold identical stash sets, so their peaks are
+  /// equal and the later point reuses the earlier simulation. Flat-curve
+  /// schedules (DAPPLE past warmup saturation) collapse to one simulation;
+  /// growing curves (GPipe stashes all M) dedup nothing. Counters
+  /// prefilter.peak_vs_m.{simulated,skipped} record the split; the curve's
+  /// bytes never change (obs_report_test pins off == auto).
+  bool prefilter = false;
+};
+
 /// Re-builds and re-simulates the pipeline at several micro-batch counts
 /// (fixed micro-batch size) and records the worst device peak at each —
-/// flat for DAPPLE (O(K)), linear for GPipe (O(M)). `sim_threads` fans the
-/// points across a sim::BatchRunner (1 = serial, 0 = hardware concurrency);
-/// the curve is byte-identical at every thread count.
+/// flat for DAPPLE (O(K)), linear for GPipe (O(M)).
+std::vector<PeakVsMPoint> PeakVsMCurve(const model::ModelProfile& model,
+                                       const topo::Cluster& cluster,
+                                       const planner::ParallelPlan& plan,
+                                       runtime::BuildOptions options,
+                                       const std::vector<int>& micro_batch_counts,
+                                       const PeakVsMOptions& curve_options);
+
+/// Back-compat overload: `sim_threads` only, prefilter off.
 std::vector<PeakVsMPoint> PeakVsMCurve(const model::ModelProfile& model,
                                        const topo::Cluster& cluster,
                                        const planner::ParallelPlan& plan,

@@ -62,14 +62,12 @@ bool SimResult::AnyOom() const {
                      [](const MemoryPool& p) { return p.oom(); });
 }
 
-namespace {
+namespace internal {
 
-/// Prepares the SimResult shell (records, usage slots, pools with
-/// capacities/baselines applied) shared by both engines.
-SimResult MakeResultShell(const TaskGraph& graph, const EngineOptions& options,
+SimResult MakeResultShell(int num_tasks, const EngineOptions& options,
                           int num_resources, int num_pools) {
   SimResult result;
-  result.records.resize(static_cast<std::size_t>(graph.num_tasks()));
+  result.records.resize(static_cast<std::size_t>(num_tasks));
   result.resources.resize(static_cast<std::size_t>(num_resources));
   result.pools.reserve(static_cast<std::size_t>(num_pools));
   for (int p = 0; p < num_pools; ++p) {
@@ -84,15 +82,12 @@ SimResult MakeResultShell(const TaskGraph& graph, const EngineOptions& options,
   return result;
 }
 
-int NumPools(const TaskGraph& graph, const EngineOptions& options) {
-  return std::max(graph.num_pools(),
+int NumPools(int graph_pools, const EngineOptions& options) {
+  return std::max(graph_pools,
                   static_cast<int>(std::max(options.pool_capacities.size(),
                                             options.pool_baselines.size())));
 }
 
-/// Validates speed profiles and maps them onto resources (nullptr = fixed
-/// unit speed, the exact legacy arithmetic: rec.end = now + duration and
-/// busy += duration).
 void IndexProfiles(const EngineOptions& options, int num_resources,
                    std::vector<const ResourceSpeedProfile*>& profile_of) {
   for (const ResourceSpeedProfile& p : options.resource_speeds) {
@@ -124,7 +119,12 @@ void IndexProfiles(const EngineOptions& options, int num_resources,
   throw Error(os.str());
 }
 
-}  // namespace
+}  // namespace internal
+
+using internal::IndexProfiles;
+using internal::MakeResultShell;
+using internal::NumPools;
+using internal::ThrowDeadlock;
 
 // --- Engine (arena + indexed binary heaps) ---------------------------------
 
@@ -144,9 +144,9 @@ SimResult Engine::Simulate(const TaskGraph& graph, const EngineOptions& options)
 
   const int n = graph.num_tasks();
   const int num_resources = std::max(graph.num_resources(), 1);
-  const int num_pools = NumPools(graph, options);
+  const int num_pools = NumPools(graph.num_pools(), options);
 
-  SimResult result = MakeResultShell(graph, options, num_resources, num_pools);
+  SimResult result = MakeResultShell(n, options, num_resources, num_pools);
 
   // Re-arm the arena. assign()/clear() keep each vector's capacity, so after
   // the first run of a given shape the event loop allocates nothing.
@@ -311,9 +311,9 @@ struct ReadyOrder {
 SimResult RunReferenceEngine(const TaskGraph& graph, const EngineOptions& options) {
   const int n = graph.num_tasks();
   const int num_resources = std::max(graph.num_resources(), 1);
-  const int num_pools = NumPools(graph, options);
+  const int num_pools = NumPools(graph.num_pools(), options);
 
-  SimResult result = MakeResultShell(graph, options, num_resources, num_pools);
+  SimResult result = MakeResultShell(n, options, num_resources, num_pools);
 
   std::vector<int> pending(static_cast<std::size_t>(n));
   for (TaskId t = 0; t < n; ++t) pending[static_cast<std::size_t>(t)] = graph.in_degree(t);

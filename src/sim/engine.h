@@ -164,4 +164,28 @@ class Engine {
 /// allocation-heavy, so use Engine everywhere else.
 SimResult RunReferenceEngine(const TaskGraph& graph, const EngineOptions& options = {});
 
+namespace internal {
+
+/// Scaffolding shared by all three engines (reference, arena, SoA) so their
+/// results stay byte-identical by construction, not by parallel maintenance.
+
+/// Pool count: the graph's pools widened by any capacity/baseline entries.
+int NumPools(int graph_pools, const EngineOptions& options);
+
+/// Prepares the SimResult shell (records, usage slots, pools with
+/// capacities/baselines applied).
+SimResult MakeResultShell(int num_tasks, const EngineOptions& options,
+                          int num_resources, int num_pools);
+
+/// Validates speed profiles and maps them onto resources (nullptr = fixed
+/// unit speed, the exact legacy arithmetic).
+void IndexProfiles(const EngineOptions& options, int num_resources,
+                   std::vector<const ResourceSpeedProfile*>& profile_of);
+
+/// Diagnostic for a graph that can never complete (dependency cycle).
+[[noreturn]] void ThrowDeadlock(const TaskGraph& graph, const SimResult& result,
+                                int executed);
+
+}  // namespace internal
+
 }  // namespace dapple::sim

@@ -1,0 +1,242 @@
+#include "sim/soa.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace dapple::sim {
+
+namespace {
+
+/// Packs (priority, id) into one unsigned key whose integer order equals
+/// the lexicographic dispatch order: the signed priority is biased into the
+/// high 32 bits, the (non-negative) task id fills the low 32.
+inline std::uint64_t PackReadyKey(int priority, TaskId id) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(priority) ^ 0x80000000u)
+          << 32) |
+         static_cast<std::uint32_t>(id);
+}
+
+inline TaskId KeyTask(std::uint64_t key) {
+  return static_cast<TaskId>(static_cast<std::uint32_t>(key));
+}
+
+}  // namespace
+
+void SoaGraph::Assign(const TaskGraph& graph) {
+  source_ = &graph;
+  const int n = graph.num_tasks();
+  num_tasks_ = n;
+  num_resources_ = std::max(graph.num_resources(), 1);
+  num_pools_ = graph.num_pools();
+
+  const auto un = static_cast<std::size_t>(n);
+  duration_.resize(un);
+  resource_.resize(un);
+  in_degree_.resize(un);
+  is_compute_.resize(un);
+  alloc_pool_.resize(un);
+  free_pool_.resize(un);
+  alloc_bytes_.resize(un);
+  free_bytes_.resize(un);
+  ready_key_.resize(un);
+  succ_offsets_.resize(un + 1);
+
+  std::size_t edges = 0;
+  for (TaskId t = 0; t < n; ++t) edges += graph.successors(t).size();
+  succ_.resize(edges);
+
+  std::int32_t offset = 0;
+  for (TaskId t = 0; t < n; ++t) {
+    const Task& task = graph.task(t);
+    const auto ut = static_cast<std::size_t>(t);
+    duration_[ut] = task.duration;
+    resource_[ut] = task.resource;
+    in_degree_[ut] = graph.in_degree(t);
+    is_compute_[ut] = IsComputeKind(task.kind) ? 1 : 0;
+    alloc_pool_[ut] = task.pool >= 0 && task.alloc_at_start > 0 ? task.pool : -1;
+    free_pool_[ut] = task.pool >= 0 && task.free_at_end > 0 ? task.pool : -1;
+    alloc_bytes_[ut] = task.alloc_at_start;
+    free_bytes_[ut] = task.free_at_end;
+    ready_key_[ut] = PackReadyKey(task.priority, t);
+    succ_offsets_[ut] = offset;
+    for (TaskId s : graph.successors(t)) {
+      succ_[static_cast<std::size_t>(offset++)] = s;
+    }
+  }
+  succ_offsets_[un] = offset;
+}
+
+SimResult SoaEngine::Simulate(const SoaGraph& graph, const EngineOptions& options) {
+  // Heap comparators are the reverse of the drain order (std::push_heap
+  // builds max-heaps): lowest (time, key) / lowest key surfaces at front().
+  auto completion_later = [](const Completion& a, const Completion& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.key > b.key;
+  };
+  auto ready_later = [](std::uint64_t a, std::uint64_t b) { return a > b; };
+
+  const int n = graph.num_tasks();
+  const int num_resources = graph.num_resources();
+  const int num_pools = internal::NumPools(graph.num_pools(), options);
+
+  SimResult result = internal::MakeResultShell(n, options, num_resources, num_pools);
+
+  // Hot array bases, hoisted so the event loop indexes raw pointers instead
+  // of re-reading vector headers through the graph reference.
+  const TimeSec* const duration = graph.duration().data();
+  const std::int32_t* const resource_of = graph.resource().data();
+  const std::uint8_t* const is_compute = graph.is_compute().data();
+  const std::int32_t* const alloc_pool = graph.alloc_pool().data();
+  const std::int32_t* const free_pool = graph.free_pool().data();
+  const Bytes* const alloc_bytes = graph.alloc_bytes().data();
+  const Bytes* const free_bytes = graph.free_bytes().data();
+  const std::uint64_t* const ready_key = graph.ready_key().data();
+  const std::int32_t* const succ_offsets = graph.succ_offsets().data();
+  const std::int32_t* const succ = graph.succ().data();
+
+  // Re-arm the arena (capacity survives across runs).
+  pending_ = graph.in_degree();
+  profile_of_.assign(static_cast<std::size_t>(num_resources), nullptr);
+  internal::IndexProfiles(options, num_resources, profile_of_);
+  const bool any_profile = !options.resource_speeds.empty();
+  if (ready_.size() < static_cast<std::size_t>(num_resources)) {
+    ready_.resize(static_cast<std::size_t>(num_resources));
+  }
+  for (int r = 0; r < num_resources; ++r) ready_[static_cast<std::size_t>(r)].clear();
+  busy_.assign(static_cast<std::size_t>(num_resources), 0);
+  completions_.clear();
+  wake_.clear();
+
+  TaskRecord* const records = result.records.data();
+  int executed = 0;
+  TimeSec now = 0.0;
+
+  auto start_task = [&](TaskId id) {
+    const auto uid = static_cast<std::size_t>(id);
+    const std::int32_t res = resource_of[uid];
+    busy_[static_cast<std::size_t>(res)] = 1;
+    TaskRecord& rec = records[uid];
+    rec.id = id;
+    rec.start = now;
+    rec.started = true;
+    if (!any_profile) {
+      rec.end = now + duration[uid];
+    } else {
+      const ResourceSpeedProfile* profile = profile_of_[static_cast<std::size_t>(res)];
+      rec.end = profile ? FinishTime(*profile, now, duration[uid]) : now + duration[uid];
+    }
+    const std::int32_t apool = alloc_pool[uid];
+    if (apool >= 0) {
+      result.pools[static_cast<std::size_t>(apool)].Allocate(now, alloc_bytes[uid]);
+    }
+    if (rec.end == std::numeric_limits<TimeSec>::infinity()) {
+      // Pinned by a permanent zero-speed window: the resource stays
+      // occupied, the task never completes, and its record stays
+      // executed = false.
+      return;
+    }
+    rec.executed = true;
+    completions_.push_back({rec.end, ready_key[uid]});
+    std::push_heap(completions_.begin(), completions_.end(), completion_later);
+  };
+
+  auto dispatch_resource = [&](std::int32_t r) {
+    auto& queue = ready_[static_cast<std::size_t>(r)];
+    if (busy_[static_cast<std::size_t>(r)] != 0 || queue.empty()) return;
+    std::pop_heap(queue.begin(), queue.end(), ready_later);
+    const TaskId next = KeyTask(queue.back());
+    queue.pop_back();
+    start_task(next);
+  };
+
+  auto enqueue_ready = [&](TaskId id) {
+    const auto uid = static_cast<std::size_t>(id);
+    auto& queue = ready_[static_cast<std::size_t>(resource_of[uid])];
+    queue.push_back(ready_key[uid]);
+    std::push_heap(queue.begin(), queue.end(), ready_later);
+  };
+
+  // Seed with all zero-indegree tasks.
+  for (TaskId t = 0; t < n; ++t) {
+    if (pending_[static_cast<std::size_t>(t)] == 0) enqueue_ready(t);
+  }
+  for (std::int32_t r = 0; r < num_resources; ++r) dispatch_resource(r);
+
+  while (!completions_.empty()) {
+    std::pop_heap(completions_.begin(), completions_.end(), completion_later);
+    const Completion done = completions_.back();
+    completions_.pop_back();
+    now = done.time;
+    const TaskId id = KeyTask(done.key);
+    const auto uid = static_cast<std::size_t>(id);
+    const std::int32_t res = resource_of[uid];
+
+    ++executed;
+    ResourceUsage& usage = result.resources[static_cast<std::size_t>(res)];
+    if (usage.tasks_executed == 0) usage.first_start = records[uid].start;
+    // With a speed profile the wall-clock occupancy differs from the work;
+    // without one, use the duration directly to keep runs bit-exact with
+    // the fixed-duration engines.
+    const TimeSec elapsed =
+        any_profile && profile_of_[static_cast<std::size_t>(res)] != nullptr
+            ? done.time - records[uid].start
+            : duration[uid];
+    usage.busy += elapsed;
+    if (is_compute[uid]) usage.compute_busy += elapsed;
+    usage.last_end = now;
+    usage.tasks_executed++;
+    result.makespan = std::max(result.makespan, now);
+
+    const std::int32_t fpool = free_pool[uid];
+    if (fpool >= 0) {
+      result.pools[static_cast<std::size_t>(fpool)].Free(now, free_bytes[uid]);
+    }
+
+    busy_[static_cast<std::size_t>(res)] = 0;
+
+    // Only the freed resource and resources whose ready queue gained a task
+    // can start something; dispatching is idempotent, so duplicates in the
+    // wake list are harmless.
+    wake_.clear();
+    wake_.push_back(res);
+    const std::int32_t succ_end = succ_offsets[uid + 1];
+    for (std::int32_t e = succ_offsets[uid]; e < succ_end; ++e) {
+      const TaskId s = succ[static_cast<std::size_t>(e)];
+      if (--pending_[static_cast<std::size_t>(s)] == 0) {
+        enqueue_ready(s);
+        wake_.push_back(resource_of[static_cast<std::size_t>(s)]);
+      }
+    }
+    for (const std::int32_t r : wake_) dispatch_resource(r);
+  }
+
+  if (executed != n) {
+    if (options.allow_incomplete) {
+      result.completed = false;
+      result.tasks_unfinished = n - executed;
+    } else {
+      internal::ThrowDeadlock(graph.source(), result, executed);
+    }
+  }
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.counter("sim.runs").Increment();
+  metrics.counter("sim.soa_runs").Increment();
+  metrics.counter("sim.tasks_executed").Increment(executed);
+  metrics.histogram("sim.makespan").Observe(result.makespan);
+  return result;
+}
+
+SimResult SoaEngine::SimulateGraph(const TaskGraph& graph, const EngineOptions& options) {
+  scratch_.Assign(graph);
+  return Simulate(scratch_, options);
+}
+
+SimResult SoaEngine::Run(const TaskGraph& graph, const EngineOptions& options) {
+  thread_local SoaEngine engine;
+  return engine.SimulateGraph(graph, options);
+}
+
+}  // namespace dapple::sim

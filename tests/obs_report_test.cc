@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "model/zoo.h"
 #include "obs/metrics.h"
@@ -162,6 +164,49 @@ TEST(IterationReport, PeakVsMCurveGrowsForGPipe) {
       obs::PeakVsMCurve(fig.model, fig.cluster, fig.plan, fig.options, {4, 16});
   ASSERT_EQ(curve.size(), 2u);
   EXPECT_LT(curve[0].max_peak_memory, curve[1].max_peak_memory);
+}
+
+TEST(IterationReport, PeakVsMPrefilterNeverChangesTheCurve) {
+  // prefilter=auto may only skip simulations, never change bytes. DAPPLE's
+  // warmup saturates, so the flat tail dedups to one simulation; GPipe
+  // stashes all M, so every point stays distinct and nothing dedups.
+  auto& metrics = obs::MetricsRegistry::Global();
+  const Fig3 dapple_fig;
+  const std::vector<int> counts = {4, 8, 16, 32};
+  const auto full = obs::PeakVsMCurve(dapple_fig.model, dapple_fig.cluster,
+                                      dapple_fig.plan, dapple_fig.options, counts);
+
+  const std::int64_t skipped0 =
+      metrics.counter("prefilter.peak_vs_m.skipped").value();
+  for (const int threads : {1, 8}) {
+    const auto pre = obs::PeakVsMCurve(
+        dapple_fig.model, dapple_fig.cluster, dapple_fig.plan, dapple_fig.options,
+        counts, obs::PeakVsMOptions{.sim_threads = threads, .prefilter = true});
+    ASSERT_EQ(pre.size(), full.size());
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_EQ(pre[i].num_micro_batches, full[i].num_micro_batches);
+      EXPECT_EQ(pre[i].max_peak_memory, full[i].max_peak_memory);
+    }
+  }
+  // Non-vacuity: the saturated DAPPLE tail must actually have been skipped.
+  EXPECT_GT(metrics.counter("prefilter.peak_vs_m.skipped").value(), skipped0);
+
+  Fig3 gpipe_fig;
+  gpipe_fig.options.schedule.kind = runtime::ScheduleKind::kGPipe;
+  gpipe_fig.options.enforce_memory_capacity = false;
+  const std::int64_t gp_skipped0 =
+      metrics.counter("prefilter.peak_vs_m.skipped").value();
+  const auto gp_full = obs::PeakVsMCurve(gpipe_fig.model, gpipe_fig.cluster,
+                                         gpipe_fig.plan, gpipe_fig.options, {4, 8, 16});
+  const auto gp_pre = obs::PeakVsMCurve(
+      gpipe_fig.model, gpipe_fig.cluster, gpipe_fig.plan, gpipe_fig.options,
+      {4, 8, 16}, obs::PeakVsMOptions{.prefilter = true});
+  ASSERT_EQ(gp_pre.size(), gp_full.size());
+  for (std::size_t i = 0; i < gp_full.size(); ++i) {
+    EXPECT_EQ(gp_pre[i].max_peak_memory, gp_full[i].max_peak_memory);
+  }
+  // GPipe's stash discipline grows with M: no two points may dedup.
+  EXPECT_EQ(metrics.counter("prefilter.peak_vs_m.skipped").value(), gp_skipped0);
 }
 
 TEST(MetricsRegistry, CountersGaugesHistograms) {

@@ -1,13 +1,14 @@
-// Determinism sweep for the arena-pooled simulation engine and the batch
-// driver: across a seeded set of fuzz-generated pipelines, the reference
-// engine (legacy ordered-set/priority-queue containers), the indexed
-// binary-heap Engine, and BatchRunner at every thread count must produce
-// byte-identical chrome traces, iteration reports, and memory high-water
-// marks. The engine is deterministic by construction — explicit
-// (priority, id) dispatch and (time, priority, id) completion keys,
-// thread-local arenas, slot-indexed batch results; this sweep is the
-// regression net around that construction, the simulator mirror of
-// planner_determinism_test.
+// Determinism sweep for the simulation engines and the batch driver:
+// across a seeded set of fuzz-generated pipelines, the reference engine
+// (legacy ordered-set/priority-queue containers), the indexed binary-heap
+// arena Engine, the structure-of-arrays SoaEngine (both its thread-local
+// flatten-and-run path and a reused explicit SoaGraph arena), and
+// BatchRunner at every thread count must produce byte-identical chrome
+// traces, iteration reports, and memory high-water marks. The engines are
+// deterministic by construction — explicit (priority, id) dispatch and
+// (time, priority, id) completion keys, thread-local arenas, slot-indexed
+// batch results; this sweep is the regression net around that
+// construction, the simulator mirror of planner_determinism_test.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -21,6 +22,7 @@
 #include "sim/batch.h"
 #include "sim/chrome_trace.h"
 #include "sim/engine.h"
+#include "sim/soa.h"
 
 namespace dapple::sim {
 namespace {
@@ -64,10 +66,13 @@ int SweepInstances() {
   return 200;
 }
 
-TEST(SimDeterminismTest, ReferenceAndArenaEnginesAreByteIdentical) {
+TEST(SimDeterminismTest, AllThreeEnginesAreByteIdentical) {
   const int instances = SweepInstances();
   int multi_pool = 0;
   long tasks = 0;
+  // One SoaEngine reused across the sweep, so the arena-reuse path (stale
+  // capacity from a previous, differently-shaped graph) is exercised too.
+  SoaEngine soa_engine;
   for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(instances); ++seed) {
     const check::FuzzCase c = check::MakeFuzzCase(seed);
     const runtime::BuiltPipeline built =
@@ -79,6 +84,20 @@ TEST(SimDeterminismTest, ReferenceAndArenaEnginesAreByteIdentical) {
         Fingerprint(built, Engine::Run(built.graph, built.engine_options));
     ASSERT_EQ(reference, arena)
         << "arena engine diverged from the reference containers: seed=" << seed
+        << " " << c.Describe();
+
+    const SimFingerprint soa =
+        Fingerprint(built, SoaEngine::Run(built.graph, built.engine_options));
+    ASSERT_EQ(reference, soa)
+        << "SoA engine diverged from the reference containers: seed=" << seed
+        << " " << c.Describe();
+
+    // The explicit-flatten path must agree with the flatten-and-run path.
+    const SoaGraph flat(built.graph);
+    const SimFingerprint soa_prebuilt =
+        Fingerprint(built, soa_engine.Simulate(flat, built.engine_options));
+    ASSERT_EQ(reference, soa_prebuilt)
+        << "SoA engine with a pre-built SoaGraph diverged: seed=" << seed
         << " " << c.Describe();
 
     tasks += built.graph.num_tasks();

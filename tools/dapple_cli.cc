@@ -15,12 +15,15 @@
 //       an ASCII Gantt chart or export a chrome://tracing JSON file.
 //   dapple report <model> <config> <servers> <gbs>
 //              [--plan FILE] [--schedule dapple|gpipe|dapple-2bp|v-min|v-half] [--recompute]
-//              [--json FILE] [--peak-vs-m M1,M2,...]
+//              [--json FILE] [--peak-vs-m M1,M2,...] [--prefilter=off|auto]
 //   dapple report --fig3 [--json FILE]
 //       Execute one iteration and print the structured iteration report
 //       (bubble ratios, time split, phases, links, memory); --json exports
 //       the machine-readable document, --fig3 runs the paper's two-stage
-//       example.
+//       example. --prefilter=auto lets the peak-vs-m curve skip simulating
+//       M points whose stash discipline repeats an already simulated point
+//       (identical bytes, fewer simulations — DAPPLE's flat curve collapses
+//       to one).
 //   dapple faults <model> <config> <servers> <gbs>
 //              [--plan FILE] [--policy stall|checkpoint|replan|all]
 //              [--script FILE] [--script-text "..."] [--seed N]
@@ -35,6 +38,7 @@
 //       Run the planner as a service: newline-delimited JSON requests in,
 //       one response per line out, answered from a fingerprint-keyed LRU
 //       plan cache. See src/serve/protocol.h for the request schema.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +49,7 @@
 #include "common/error.h"
 #include "common/table.h"
 #include "dapple/dapple.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 #include "serve/transport.h"
 #include "sim/chrome_trace.h"
@@ -136,7 +141,7 @@ int Usage() {
                "  dapple report <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
                "              [--schedule dapple|gpipe|dapple-2bp|v-min|v-half] [--recompute]\n"
                "              [--memory-cap BYTES] [--json FILE] [--peak-vs-m M1,M2,...]\n"
-               "              [--sim-threads N]\n"
+               "              [--sim-threads N] [--prefilter=off|auto]\n"
                "  dapple report --fig3 [--json FILE]\n"
                "  dapple faults <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
                "              [--policy stall|checkpoint|replan|all]\n"
@@ -368,6 +373,7 @@ int CmdReport(int argc, char** argv) {
   std::string plan_path, v;
   std::vector<int> curve_counts;
   int sim_threads = 1;
+  bool curve_prefilter = false;
   runtime::BuildOptions options;
   options.global_batch_size = gbs;
   FlagParser flags(argc - 4, argv + 4);
@@ -393,6 +399,18 @@ int CmdReport(int argc, char** argv) {
       }
     } else if (flags.MatchValue("--sim-threads", &v)) {
       sim_threads = std::atoi(v.c_str());
+    } else if (flags.MatchPrefix("--prefilter=", &v) ||
+               flags.MatchValue("--prefilter", &v)) {
+      // auto skips curve points whose stash discipline repeats an already
+      // simulated point (the bytes never change); off simulates every point.
+      if (v == "auto") {
+        curve_prefilter = true;
+      } else if (v == "off") {
+        curve_prefilter = false;
+      } else {
+        std::fprintf(stderr, "unknown --prefilter mode '%s' (off|auto)\n", v.c_str());
+        return Usage();
+      }
     } else {
       flags.Unknown();
     }
@@ -418,14 +436,29 @@ int CmdReport(int argc, char** argv) {
   std::printf("%s", obs::ToText(report).c_str());
 
   if (!curve_counts.empty()) {
-    const auto curve =
-        obs::PeakVsMCurve(m, cluster, plan, options, curve_counts, sim_threads);
+    auto& metrics = obs::MetricsRegistry::Global();
+    const std::int64_t simulated0 =
+        metrics.counter("prefilter.peak_vs_m.simulated").value();
+    const std::int64_t skipped0 =
+        metrics.counter("prefilter.peak_vs_m.skipped").value();
+    const auto curve = obs::PeakVsMCurve(
+        m, cluster, plan, options, curve_counts,
+        obs::PeakVsMOptions{.sim_threads = sim_threads, .prefilter = curve_prefilter});
     AsciiTable t({"M", "Max peak memory"});
     for (const obs::PeakVsMPoint& p : curve) {
       t.AddRow({AsciiTable::Int(p.num_micro_batches), FormatBytes(p.max_peak_memory)});
     }
     std::printf("\npeak memory vs micro-batch count (fixed micro-batch size):\n%s",
                 t.ToString().c_str());
+    if (curve_prefilter) {
+      std::printf(
+          "prefilter=auto: %lld point(s) simulated, %lld reused from an "
+          "identical stash discipline\n",
+          static_cast<long long>(
+              metrics.counter("prefilter.peak_vs_m.simulated").value() - simulated0),
+          static_cast<long long>(
+              metrics.counter("prefilter.peak_vs_m.skipped").value() - skipped0));
+    }
   }
   if (!json_path.empty()) return WriteJsonFile(json_path, obs::ToJson(report));
   return 0;

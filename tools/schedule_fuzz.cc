@@ -19,6 +19,14 @@
 //       and a per-device cap scaled around the family's uncapped peak; the
 //       planner must either declare the cap infeasible or emit a plan whose
 //       capped simulation passes the validator with zero OOM violations.
+//   dapple_fuzz --ranking [--iterations N] [--seed BASE] [--verbose]
+//               [--prefilter=off|auto]
+//   dapple_fuzz --ranking --repro SEED
+//       Candidate-ranking mode: each seed derives a fixed workload plus a
+//       pool of random DAPPLE split-mode plans; the analytic pre-filter
+//       must pick a winner whose simulated makespan equals the best over
+//       every candidate simulated in full (100% rank-1 recall).
+//       --prefilter=off simulates everything in both legs (baseline).
 //
 // Each case derives entirely from its 64-bit seed, so any failure printed
 // by the batch mode reproduces exactly with --repro.
@@ -38,10 +46,11 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  dapple_fuzz [--faults|--memory-cap] [--iterations N] [--seed BASE]\n"
-               "              [--verbose] [--threads N]  (0 = hardware concurrency;\n"
-               "               results are identical at every N)\n"
-               "  dapple_fuzz [--faults|--memory-cap] --repro SEED\n");
+               "  dapple_fuzz [--faults|--memory-cap|--ranking] [--iterations N]\n"
+               "              [--seed BASE] [--verbose] [--threads N]  (0 = hardware\n"
+               "               concurrency; results are identical at every N)\n"
+               "  dapple_fuzz --ranking [--prefilter=off|auto]\n"
+               "  dapple_fuzz [--faults|--memory-cap|--ranking] --repro SEED\n");
   return 2;
 }
 
@@ -154,6 +163,60 @@ int RunMemoryCapSweep(std::uint64_t base, long iterations, bool verbose, int thr
   return 0;
 }
 
+int ReproRanking(std::uint64_t seed, bool prefilter) {
+  const check::RankingFuzzCase c = check::MakeRankingFuzzCase(seed);
+  std::printf("%s\n", c.Describe().c_str());
+  const check::RankingFuzzOutcome out = check::RunRankingFuzzCase(c, prefilter);
+  if (!out.ok()) {
+    std::printf("%s\n", out.Summary().c_str());
+    return 1;
+  }
+  std::printf("ok: simulated %d/%d candidates, best #%d makespan %.6fs "
+              "(full sweep agrees: #%d, %.6fs)\n",
+              out.num_simulated, out.num_candidates, out.best_prefiltered,
+              out.best_prefiltered_makespan, out.best_full, out.best_full_makespan);
+  return 0;
+}
+
+int RunRankingSweep(std::uint64_t base, long iterations, bool verbose, int threads,
+                    bool prefilter) {
+  const std::vector<std::uint64_t> seeds = SeedRange(base, iterations);
+  if (verbose) {
+    for (std::uint64_t seed : seeds) {
+      std::printf("%s\n", check::MakeRankingFuzzCase(seed).Describe().c_str());
+    }
+  }
+  const std::vector<check::RankingFuzzOutcome> outcomes =
+      check::RunRankingFuzzSweep(seeds, threads, prefilter);
+  long candidates = 0, simulated = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const check::RankingFuzzOutcome& out = outcomes[i];
+    if (!out.ok()) {
+      std::fprintf(stderr, "%s  case: %s\n", out.Summary().c_str(),
+                   check::MakeRankingFuzzCase(seeds[i]).Describe().c_str());
+      return 1;
+    }
+    candidates += out.num_candidates;
+    simulated += out.num_simulated;
+    if (verbose) {
+      std::printf("seed %llu: simulated %d/%d, best makespan %.6fs\n",
+                  static_cast<unsigned long long>(seeds[i]), out.num_simulated,
+                  out.num_candidates, out.best_full_makespan);
+    }
+  }
+  std::printf("%ld ranking cases ok (seeds %llu..%llu): 100%% rank-1 recall, "
+              "%ld/%ld candidates simulated (%.1f%% skipped by the %s)\n",
+              iterations, static_cast<unsigned long long>(base),
+              static_cast<unsigned long long>(base + iterations - 1), simulated,
+              candidates,
+              candidates > 0
+                  ? 100.0 * static_cast<double>(candidates - simulated) /
+                        static_cast<double>(candidates)
+                  : 0.0,
+              prefilter ? "analytic pre-filter" : "feasibility check only");
+  return 0;
+}
+
 int Repro(std::uint64_t seed) {
   const check::FuzzCase c = check::MakeFuzzCase(seed);
   std::printf("%s\n", c.Describe().c_str());
@@ -180,19 +243,30 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool faults = false;
   bool memory_cap = false;
+  bool ranking = false;
+  bool prefilter = true;
   int threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) {
       faults = true;
     } else if (std::strcmp(argv[i], "--memory-cap") == 0) {
       memory_cap = true;
+    } else if (std::strcmp(argv[i], "--ranking") == 0) {
+      ranking = true;
+    } else if (std::strcmp(argv[i], "--prefilter=off") == 0) {
+      prefilter = false;
+    } else if (std::strcmp(argv[i], "--prefilter=auto") == 0) {
+      prefilter = true;
     } else if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc) {
       const std::uint64_t seed = std::strtoull(argv[++i], nullptr, 10);
       // The mode flag may follow --repro; scan the rest before dispatching.
       for (int j = i + 1; j < argc; ++j) {
         if (std::strcmp(argv[j], "--faults") == 0) faults = true;
         if (std::strcmp(argv[j], "--memory-cap") == 0) memory_cap = true;
+        if (std::strcmp(argv[j], "--ranking") == 0) ranking = true;
+        if (std::strcmp(argv[j], "--prefilter=off") == 0) prefilter = false;
       }
+      if (ranking) return ReproRanking(seed, prefilter);
       if (memory_cap) return ReproMemoryCap(seed);
       return faults ? ReproFaults(seed) : Repro(seed);
     } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
@@ -207,7 +281,12 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (iterations <= 0 || threads < 0 || (faults && memory_cap)) return Usage();
+  if (iterations <= 0 || threads < 0 ||
+      (static_cast<int>(faults) + static_cast<int>(memory_cap) +
+       static_cast<int>(ranking)) > 1) {
+    return Usage();
+  }
+  if (ranking) return RunRankingSweep(base, iterations, verbose, threads, prefilter);
   if (memory_cap) return RunMemoryCapSweep(base, iterations, verbose, threads);
   if (faults) return RunFaultSweep(base, iterations, verbose, threads);
 
