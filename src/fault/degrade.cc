@@ -45,8 +45,14 @@ ClusterState StateAt(const FaultScript& script, const topo::Cluster& cluster, Ti
     if (!e.ActiveAt(t)) continue;
     switch (e.kind) {
       case FaultKind::kDeviceCrash:
-        state.device_dead[static_cast<std::size_t>(e.device)] = true;
+        // A crash holds until the closest later rejoin of the device; a
+        // rejoin at exactly t already counts as back.
+        if (RejoinTimeAfter(script, e) > t) {
+          state.device_dead[static_cast<std::size_t>(e.device)] = true;
+        }
         break;
+      case FaultKind::kDeviceRejoin:
+        break;  // handled by the crash it terminates
       case FaultKind::kDeviceSlowdown: {
         // The planner's cluster model is server-granular, so a single slow
         // device drags its whole server in the control-plane view; the
@@ -129,27 +135,45 @@ DegradedCluster MakeDegradedCluster(const topo::Cluster& original, const Cluster
 }
 
 std::optional<planner::ParallelPlan> RemapPlanToCluster(const planner::ParallelPlan& plan,
-                                                        const DegradedCluster& degraded) {
+                                                        const DegradedCluster& degraded,
+                                                        bool allow_growth) {
   if (!degraded.feasible) return std::nullopt;
   const int available = degraded.cluster.num_devices();
   const int num_stages = plan.num_stages();
   if (available < num_stages) return std::nullopt;
 
-  planner::ParallelPlan remapped;
-  remapped.model = plan.model;
-  int next = 0;
+  std::vector<int> replicas(static_cast<std::size_t>(num_stages), 0);
   int remaining = available;
   for (int i = 0; i < num_stages; ++i) {
     const int later_stages = num_stages - 1 - i;
     // Every later stage still needs at least one device.
-    const int replicas =
+    replicas[static_cast<std::size_t>(i)] =
         std::max(1, std::min(plan.stages[static_cast<std::size_t>(i)].replication(),
                              remaining - later_stages));
+    remaining -= replicas[static_cast<std::size_t>(i)];
+  }
+  // Growth path: when the cluster has more devices than the plan ever used
+  // (a rejoin after elastic scale-up, or a plan that ran on a subset), widen
+  // stages round-robin instead of silently keeping the old plan and leaving
+  // the new hardware idle. The recovery layer probes a full replan first;
+  // this structural widening is the fallback when the planner finds nothing
+  // feasible. Off by default so checkpoint-restart's shrink-only remap (and
+  // its pinned goldens) keep their historical shape.
+  if (allow_growth) {
+    for (int i = 0; remaining > 0; i = (i + 1) % num_stages) {
+      ++replicas[static_cast<std::size_t>(i)];
+      --remaining;
+    }
+  }
+
+  planner::ParallelPlan remapped;
+  remapped.model = plan.model;
+  int next = 0;
+  for (int i = 0; i < num_stages; ++i) {
     planner::StagePlan stage = plan.stages[static_cast<std::size_t>(i)];
-    stage.devices = topo::DeviceSet::Range(next, replicas);
+    stage.devices = topo::DeviceSet::Range(next, replicas[static_cast<std::size_t>(i)]);
     remapped.stages.push_back(std::move(stage));
-    next += replicas;
-    remaining -= replicas;
+    next += replicas[static_cast<std::size_t>(i)];
   }
   return remapped;
 }
@@ -271,9 +295,17 @@ std::vector<sim::ResourceSpeedProfile> BuildSpeedProfiles(
     switch (e.kind) {
       case FaultKind::kDeviceCrash: {
         const topo::DeviceId b = from_original[static_cast<std::size_t>(e.device)];
-        if (b >= 0) add_window(b, e.start, kInf, 0.0);
+        // Fail-stop: a live outage pins the device open-endedly so the
+        // in-flight iteration is lost rather than silently pausing through
+        // it — what to do with the eventual rejoin is the recovery control
+        // plane's call, not the simulator's. Only once the rejoin is behind
+        // the configuration's start time is the outage fully over and the
+        // window gone.
+        if (b >= 0 && RejoinTimeAfter(script, e) > t0) add_window(b, e.start, kInf, 0.0);
         break;
       }
+      case FaultKind::kDeviceRejoin:
+        break;  // already the end of the crash window it terminates
       case FaultKind::kDeviceSlowdown: {
         if (e.device >= 0) {
           const topo::DeviceId b = from_original[static_cast<std::size_t>(e.device)];

@@ -34,9 +34,11 @@ struct ClusterState {
   bool operator!=(const ClusterState& other) const { return !(*this == other); }
 };
 
-/// Evaluates the script at time t. Crashes are permanent; windows
-/// contribute while t is in [start, end). Device-targeted slowdowns fold
-/// into their server's multiplier (the planner reasons per-server).
+/// Evaluates the script at time t. A crash holds from its start until the
+/// closest later rejoin of the same device (forever when none — permanent
+/// for every legacy script); windows contribute while t is in [start, end).
+/// Device-targeted slowdowns fold into their server's multiplier (the
+/// planner reasons per-server).
 ClusterState StateAt(const FaultScript& script, const topo::Cluster& cluster, TimeSec t);
 
 /// A healthy sub-cluster with dense ids plus the id maps back to the
@@ -63,8 +65,15 @@ DegradedCluster MakeDegradedCluster(const topo::Cluster& original, const Cluster
 /// reassign devices onto the degraded cluster in id order, clamping each
 /// stage's replication to what still fits. Returns nullopt when the
 /// degraded cluster has fewer devices than the plan has stages.
+///
+/// With `allow_growth` (the elastic scale-up fallback when a full replan
+/// probe fails), devices beyond the plan's total are distributed round-robin
+/// as extra stage replicas instead of being silently left idle — the
+/// historical behaviour when a cluster *grew* was to keep the old plan
+/// unchanged, which wasted every rejoined machine.
 std::optional<planner::ParallelPlan> RemapPlanToCluster(const planner::ParallelPlan& plan,
-                                                        const DegradedCluster& degraded);
+                                                        const DegradedCluster& degraded,
+                                                        bool allow_growth = false);
 
 /// Compiles the script into per-resource engine speed profiles for one
 /// iteration starting at absolute time t0, against a pipeline built for a

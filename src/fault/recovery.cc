@@ -53,7 +53,8 @@ ClusterState HealthyState(const topo::Cluster& cluster) {
 
 /// Earliest crash time a run starting at t would hit; +inf when none.
 /// Crashes whose device the current configuration already excludes
-/// (`handled_dead`) no longer disrupt anything.
+/// (`handled_dead`) no longer disrupt anything, and neither does an outage
+/// whose rejoin is already behind t.
 TimeSec NextCrash(const FaultScript& script, TimeSec t,
                   const std::vector<bool>* handled_dead = nullptr) {
   TimeSec next = kInf;
@@ -62,9 +63,26 @@ TimeSec NextCrash(const FaultScript& script, TimeSec t,
     if (handled_dead != nullptr && (*handled_dead)[static_cast<std::size_t>(e.device)]) {
       continue;
     }
+    if (RejoinTimeAfter(script, e) <= t) continue;  // outage fully over
     next = std::min(next, std::max(e.start, t));
   }
   return next;
+}
+
+/// The cluster state a policy's control plane acts on at time t. Only
+/// elastic-up has a state-migration path onto returning hardware, so only
+/// it sees rejoins; every other policy keeps crashes permanent — which also
+/// keeps their reports byte-identical on rejoin-free legacy scripts.
+ClusterState PolicyStateAt(const FaultScript& script, const topo::Cluster& cluster,
+                           TimeSec t, RecoveryPolicy policy) {
+  if (policy == RecoveryPolicy::kElasticUp || !script.HasRejoin()) {
+    return StateAt(script, cluster, t);
+  }
+  FaultScript pessimistic;
+  for (const FaultEvent& e : script.events) {
+    if (e.kind != FaultKind::kDeviceRejoin) pessimistic.events.push_back(e);
+  }
+  return StateAt(pessimistic, cluster, t);
 }
 
 /// True when no fault-script boundary falls strictly inside (begin, end).
@@ -92,6 +110,7 @@ const char* ToString(RecoveryPolicy policy) {
     case RecoveryPolicy::kSyncStall: return "stall";
     case RecoveryPolicy::kCheckpointRestart: return "checkpoint";
     case RecoveryPolicy::kElasticReplan: return "replan";
+    case RecoveryPolicy::kElasticUp: return "elastic-up";
   }
   return "?";
 }
@@ -100,7 +119,14 @@ RecoveryPolicy ParseRecoveryPolicy(const std::string& name) {
   if (name == "stall") return RecoveryPolicy::kSyncStall;
   if (name == "checkpoint") return RecoveryPolicy::kCheckpointRestart;
   if (name == "replan") return RecoveryPolicy::kElasticReplan;
-  throw Error("unknown recovery policy '" + name + "' (stall | checkpoint | replan)");
+  if (name == "elastic-up") return RecoveryPolicy::kElasticUp;
+  throw Error("unknown recovery policy '" + name +
+              "' (stall | checkpoint | replan | elastic-up)");
+}
+
+std::vector<RecoveryPolicy> AllRecoveryPolicies() {
+  return {RecoveryPolicy::kSyncStall, RecoveryPolicy::kCheckpointRestart,
+          RecoveryPolicy::kElasticReplan, RecoveryPolicy::kElasticUp};
 }
 
 FaultReport RunFaultExperiment(const model::ModelProfile& model, const topo::Cluster& cluster,
@@ -162,24 +188,51 @@ FaultReport RunFaultExperiment(const model::ModelProfile& model, const topo::Clu
   while (t < horizon && !halted && steps++ < options.max_iterations) {
     // Elastic replans at iteration boundaries whenever the observed cluster
     // state no longer matches the one the running plan targets.
-    if (policy == RecoveryPolicy::kElasticReplan) {
-      const ClusterState now = StateAt(script, cluster, t);
+    if (policy == RecoveryPolicy::kElasticReplan || policy == RecoveryPolicy::kElasticUp) {
+      const ClusterState now = PolicyStateAt(script, cluster, t, policy);
       if (now != config.planned_state) {
         const DegradedCluster degraded = MakeDegradedCluster(cluster, now);
         if (!degraded.feasible) {
           halt(t, "no surviving server to replan onto");
           break;
         }
+        // A grown cluster means a device rejoined: probe the planner on the
+        // full new topology (elastic-up only ever reaches here with growth
+        // enabled in the remap fallback, so the new hardware is never
+        // silently wasted).
+        const bool grew = degraded.cluster.num_devices() > config.cluster.num_devices();
         planner::ParallelPlan next_plan;
         try {
           next_plan = ReplanOnline(model, degraded.cluster, planner_options);
         } catch (const Error&) {
-          const auto remapped = RemapPlanToCluster(config.plan, degraded);
+          const auto remapped = RemapPlanToCluster(config.plan, degraded, grew);
           if (!remapped) {
             halt(t, "planner found no feasible plan on the degraded cluster");
             break;
           }
           next_plan = *remapped;
+        }
+        if (grew && policy == RecoveryPolicy::kElasticUp) {
+          // Checkpoint-bounded cutover: new devices need a state snapshot,
+          // so pay a restore on top of the replan and roll back to the last
+          // periodic checkpoint — at most checkpoint_period iterations.
+          const int rollback = iterations - last_checkpoint_iter;
+          report.iterations_lost += rollback;
+          iterations = last_checkpoint_iter;
+          ++report.scale_ups;
+          report.max_scale_up_rollback = std::max(report.max_scale_up_rollback, rollback);
+          ++report.restores;
+          ++report.replans;
+          const TimeSec done = t + options.replan_cost + options.restore_cost;
+          report.timeline.push_back(
+              {"scale-up", t, done, -1,
+               "rolled back to iteration " + std::to_string(last_checkpoint_iter) +
+                   ", replanned onto " + degraded.cluster.name() + " as " +
+                   next_plan.ToString()});
+          config = build_config(std::move(next_plan), degraded.cluster,
+                                degraded.to_original_device, now);
+          t = done;
+          continue;
         }
         const TimeSec done = t + options.replan_cost;
         report.timeline.push_back(
@@ -206,15 +259,16 @@ FaultReport RunFaultExperiment(const model::ModelProfile& model, const topo::Clu
           {"iteration", t, end, iterations, config.plan.ToString()});
       if (recovered_start == kInf && (script.empty() || t >= onset)) {
         bool clean;
-        if (policy == RecoveryPolicy::kElasticReplan) {
-          clean = StateAt(script, cluster, t) == config.planned_state &&
+        if (policy == RecoveryPolicy::kElasticReplan || policy == RecoveryPolicy::kElasticUp) {
+          clean = PolicyStateAt(script, cluster, t, policy) == config.planned_state &&
                   NoBoundaryInside(script, t, end);
         } else {
           // Stall and checkpoint never adapt to transient windows: clean
           // means no window touches the iteration and every crash so far is
           // one this config was (re)built without.
           clean = !WindowOverlaps(script, t, end) &&
-                  StateAt(script, cluster, t).device_dead == config.planned_state.device_dead &&
+                  PolicyStateAt(script, cluster, t, policy).device_dead ==
+                      config.planned_state.device_dead &&
                   NextCrash(script, t, &config.planned_state.device_dead) >= end;
         }
         if (clean) {
@@ -225,7 +279,8 @@ FaultReport RunFaultExperiment(const model::ModelProfile& model, const topo::Clu
       }
       t = end;
       ++iterations;
-      if (policy == RecoveryPolicy::kCheckpointRestart &&
+      if ((policy == RecoveryPolicy::kCheckpointRestart ||
+           policy == RecoveryPolicy::kElasticUp) &&
           iterations - last_checkpoint_iter >= options.checkpoint_period && t < horizon) {
         report.timeline.push_back({"checkpoint", t, t + options.checkpoint_cost, -1,
                                    "iteration " + std::to_string(iterations)});
@@ -245,7 +300,7 @@ FaultReport RunFaultExperiment(const model::ModelProfile& model, const topo::Clu
         break;
       case RecoveryPolicy::kCheckpointRestart: {
         const TimeSec resumed = crash_time + options.detect_latency + options.restore_cost;
-        const ClusterState now = StateAt(script, cluster, resumed);
+        const ClusterState now = PolicyStateAt(script, cluster, resumed, policy);
         const DegradedCluster degraded = MakeDegradedCluster(cluster, now);
         const auto remapped = RemapPlanToCluster(config.plan, degraded);
         if (!remapped) {
@@ -263,9 +318,10 @@ FaultReport RunFaultExperiment(const model::ModelProfile& model, const topo::Clu
         t = resumed;
         break;
       }
-      case RecoveryPolicy::kElasticReplan: {
+      case RecoveryPolicy::kElasticReplan:
+      case RecoveryPolicy::kElasticUp: {
         const TimeSec resumed = crash_time + options.detect_latency + options.replan_cost;
-        const ClusterState now = StateAt(script, cluster, resumed);
+        const ClusterState now = PolicyStateAt(script, cluster, resumed, policy);
         const DegradedCluster degraded = MakeDegradedCluster(cluster, now);
         if (!degraded.feasible) {
           halt(crash_time, "no surviving server to replan onto");
@@ -275,7 +331,10 @@ FaultReport RunFaultExperiment(const model::ModelProfile& model, const topo::Clu
         try {
           next_plan = ReplanOnline(model, degraded.cluster, planner_options);
         } catch (const Error&) {
-          const auto remapped = RemapPlanToCluster(config.plan, degraded);
+          const auto remapped = RemapPlanToCluster(
+              config.plan, degraded,
+              policy == RecoveryPolicy::kElasticUp &&
+                  degraded.cluster.num_devices() > config.cluster.num_devices());
           if (!remapped) {
             halt(crash_time, "planner found no feasible plan on the degraded cluster");
             break;

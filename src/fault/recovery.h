@@ -1,10 +1,11 @@
 // Recovery-policy experiments: run a training timeline iteration by
 // iteration under a fault script and measure what each policy salvages.
 //
-// Three policies, in increasing sophistication:
+// Four policies, in increasing sophistication:
 //   kSyncStall         — do nothing. Synchronous training runs at the
 //                        straggler's pace; a fail-stop crash halts the job
-//                        for good.
+//                        for good (an outage with a rejoin merely freezes
+//                        it for the outage's duration).
 //   kCheckpointRestart — checkpoint every N iterations (paying a cost),
 //                        and on a crash roll back to the last checkpoint,
 //                        pay a restore cost, and continue on a structurally
@@ -13,7 +14,16 @@
 //                        DAPPLE planner against the degraded cluster (dead
 //                        servers excluded, stragglers as speed multipliers)
 //                        and continue with the new plan. The paper's DP
-//                        planner is cheap enough to re-run online.
+//                        planner is cheap enough to re-run online. Has no
+//                        state-migration path onto *new* hardware, so its
+//                        control-plane view treats crashes as permanent
+//                        even when the script later rejoins the device.
+//   kElasticUp         — elastic replan that also scales *up*: when a
+//                        crashed device rejoins, re-run the planner on the
+//                        grown cluster and migrate via a checkpoint-bounded
+//                        cutover — pay replan + restore and roll back to
+//                        the last periodic checkpoint, so a scale-up never
+//                        loses more than checkpoint_period iterations.
 //
 // Everything is simulated time: detection latency, restore and replan costs
 // are configured constants, so identical (plan, script, options) produce a
@@ -34,18 +44,23 @@
 
 namespace dapple::fault {
 
-enum class RecoveryPolicy { kSyncStall, kCheckpointRestart, kElasticReplan };
+enum class RecoveryPolicy { kSyncStall, kCheckpointRestart, kElasticReplan, kElasticUp };
 
 const char* ToString(RecoveryPolicy policy);
-/// Parses "stall" / "checkpoint" / "replan"; throws dapple::Error otherwise.
+/// Parses "stall" / "checkpoint" / "replan" / "elastic-up"; throws
+/// dapple::Error otherwise.
 RecoveryPolicy ParseRecoveryPolicy(const std::string& name);
+
+/// Every policy, in enum order (sweeps and CLIs iterate this).
+std::vector<RecoveryPolicy> AllRecoveryPolicies();
 
 struct FaultOptions {
   /// Simulated experiment length. 0 = 25x the healthy iteration time.
   TimeSec horizon = 0.0;
   /// Safety cap on simulated iterations.
   int max_iterations = 1000;
-  /// Checkpoint every N iterations (checkpoint–restart only).
+  /// Checkpoint every N iterations (checkpoint–restart and elastic-up,
+  /// which needs a recent checkpoint to bound its scale-up cutover).
   int checkpoint_period = 5;
   TimeSec checkpoint_cost = 0.2;
   TimeSec restore_cost = 2.0;
@@ -68,7 +83,8 @@ struct FaultOptions {
 
 /// One row of the experiment timeline, in absolute simulated time.
 struct TimelineRow {
-  std::string kind;  // "iteration" | "checkpoint" | "restore" | "replan" | "stall"
+  /// "iteration" | "checkpoint" | "restore" | "replan" | "scale-up" | "stall"
+  std::string kind;
   TimeSec start = 0.0;
   TimeSec end = 0.0;
   int iteration = -1;  // completed-iteration index; -1 for non-iteration rows
@@ -108,6 +124,11 @@ struct FaultReport {
   int restores = 0;
   /// Iterations whose work was thrown away (rollback or crash abort).
   int iterations_lost = 0;
+  /// Elastic-up only: growth cutovers taken (replan onto a grown cluster).
+  int scale_ups = 0;
+  /// Elastic-up only: the largest rollback any single scale-up cutover paid,
+  /// in iterations — bounded by checkpoint_period by construction.
+  int max_scale_up_rollback = 0;
 
   std::vector<TimelineRow> timeline;
 };

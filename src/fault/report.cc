@@ -29,6 +29,7 @@ void WriteFault(obs::JsonWriter& w, const FaultEvent& e) {
       w.Field("extra_latency", e.extra_latency);
       break;
     case FaultKind::kDeviceCrash:
+    case FaultKind::kDeviceRejoin:
       break;
   }
   w.EndObject();
@@ -67,6 +68,12 @@ std::string ToJson(const FaultReport& report) {
   w.Field("checkpoints", report.checkpoints);
   w.Field("restores", report.restores);
   w.Field("iterations_lost", report.iterations_lost);
+  // Elastic-up bookkeeping, emitted only when a scale-up happened so every
+  // legacy report (and its pinned goldens) keeps its historical bytes.
+  if (report.scale_ups > 0) {
+    w.Field("scale_ups", report.scale_ups);
+    w.Field("max_scale_up_rollback", report.max_scale_up_rollback);
+  }
   w.EndObject();
 
   w.Key("timeline").BeginArray();
@@ -131,6 +138,11 @@ std::string ToText(const FaultReport& report) {
                 "recovery actions", report.replans, report.checkpoints, report.restores,
                 report.iterations_lost);
   os << line;
+  if (report.scale_ups > 0) {
+    std::snprintf(line, sizeof(line), "  %-22s %4d (worst rollback %d iterations)\n",
+                  "scale-up cutovers", report.scale_ups, report.max_scale_up_rollback);
+    os << line;
+  }
   return os.str();
 }
 
@@ -170,8 +182,16 @@ std::string ToChromeTrace(const FaultReport& report) {
   }
 
   for (const FaultEvent& e : report.script.events) {
-    const TimeSec end = std::isfinite(e.end) ? std::min(e.end, report.horizon) : report.horizon;
-    if (end <= e.start) continue;
+    TimeSec close = e.end;
+    if (e.kind == FaultKind::kDeviceCrash) {
+      // An outage window runs to the device's rejoin (+inf when permanent).
+      close = RejoinTimeAfter(report.script, e);
+    } else if (e.kind == FaultKind::kDeviceRejoin) {
+      close = e.start;  // an instant, rendered as a zero-width slice
+    }
+    const TimeSec end = std::isfinite(close) ? std::min(close, report.horizon) : report.horizon;
+    if (end < e.start) continue;
+    if (end == e.start && e.kind != FaultKind::kDeviceRejoin) continue;
     w.BeginObject();
     w.Field("name", e.ToString());
     w.Field("ph", "X");

@@ -28,12 +28,14 @@ const char* ToString(FaultKind kind) {
     case FaultKind::kDeviceSlowdown: return "slowdown";
     case FaultKind::kLinkDegradation: return "degrade";
     case FaultKind::kDeviceCrash: return "crash";
+    case FaultKind::kDeviceRejoin: return "rejoin";
   }
   return "?";
 }
 
 bool FaultEvent::ActiveAt(TimeSec t) const {
   if (kind == FaultKind::kDeviceCrash) return t >= start;
+  if (kind == FaultKind::kDeviceRejoin) return t >= start;
   return t >= start && t < end;
 }
 
@@ -42,7 +44,7 @@ std::string FaultEvent::ToString() const {
   os << fault::ToString(kind);
   if (device >= 0) os << " device=" << device;
   if (server >= 0) os << " server=" << server;
-  if (kind == FaultKind::kDeviceCrash) {
+  if (kind == FaultKind::kDeviceCrash || kind == FaultKind::kDeviceRejoin) {
     os << " at=" << Num(start);
     return os.str();
   }
@@ -66,6 +68,12 @@ TimeSec FaultScript::FirstOnset() const {
 bool FaultScript::HasCrash() const {
   return std::any_of(events.begin(), events.end(), [](const FaultEvent& e) {
     return e.kind == FaultKind::kDeviceCrash;
+  });
+}
+
+bool FaultScript::HasRejoin() const {
+  return std::any_of(events.begin(), events.end(), [](const FaultEvent& e) {
+    return e.kind == FaultKind::kDeviceRejoin;
   });
 }
 
@@ -93,6 +101,17 @@ void FaultScript::Validate(const topo::Cluster& cluster) const {
       case FaultKind::kDeviceCrash:
         DAPPLE_CHECK(e.device >= 0) << "crash targets a device: " << label;
         break;
+      case FaultKind::kDeviceRejoin: {
+        DAPPLE_CHECK(e.device >= 0) << "rejoin targets a device: " << label;
+        const bool has_outage = std::any_of(
+            events.begin(), events.end(), [&](const FaultEvent& c) {
+              return c.kind == FaultKind::kDeviceCrash && c.device == e.device &&
+                     c.start < e.start;
+            });
+        DAPPLE_CHECK(has_outage)
+            << "rejoin without an earlier crash of the device: " << label;
+        break;
+      }
     }
     if (e.device >= 0) {
       DAPPLE_CHECK(e.device < cluster.num_devices())
@@ -134,6 +153,9 @@ FaultScript ParseFaultScript(const std::string& text) {
     } else if (word == "crash") {
       e.kind = FaultKind::kDeviceCrash;
       e.end = kInf;
+    } else if (word == "rejoin") {
+      e.kind = FaultKind::kDeviceRejoin;
+      e.end = kInf;
     } else {
       throw Error("fault script line " + std::to_string(line_no) +
                   ": unknown event kind '" + word + "'");
@@ -174,6 +196,15 @@ FaultScript ParseFaultScript(const std::string& text) {
     script.events.push_back(e);
   }
   return script;
+}
+
+TimeSec RejoinTimeAfter(const FaultScript& script, const FaultEvent& crash) {
+  TimeSec rejoin = kInf;
+  for (const FaultEvent& e : script.events) {
+    if (e.kind != FaultKind::kDeviceRejoin || e.device != crash.device) continue;
+    if (e.start > crash.start) rejoin = std::min(rejoin, e.start);
+  }
+  return rejoin;
 }
 
 FaultScript RandomFaultScript(std::uint64_t seed, const topo::Cluster& cluster,

@@ -28,8 +28,15 @@ enum class FaultKind {
   /// scales by `bandwidth_multiplier`, and every transfer crossing the
   /// server pays `extra_latency` on top.
   kLinkDegradation,
-  /// A device fail-stops at `start` and never returns.
+  /// A device fail-stops at `start`. It stays down forever unless a later
+  /// kDeviceRejoin of the same device ends the outage.
   kDeviceCrash,
+  /// A previously crashed device comes back at `start` (a spot instance
+  /// returning, a machine leaving maintenance). The outage it terminates is
+  /// the closest earlier crash of the same device; only the elastic-up
+  /// recovery policy actually re-admits the hardware, the others keep
+  /// treating the crash as permanent in their control-plane view.
+  kDeviceRejoin,
 };
 
 const char* ToString(FaultKind kind);
@@ -63,6 +70,8 @@ struct FaultScript {
   TimeSec FirstOnset() const;
   /// True when any event is a crash.
   bool HasCrash() const;
+  /// True when any event is a rejoin (the script can grow the cluster back).
+  bool HasRejoin() const;
   /// Throws dapple::Error when a target is out of range for the cluster, a
   /// window is inverted, or a multiplier is not in a sane range.
   void Validate(const topo::Cluster& cluster) const;
@@ -77,9 +86,15 @@ struct FaultScript {
 ///   slowdown server=1 start=2.0 end=8.0 mult=0.5
 ///   degrade server=1 start=2.0 end=8.0 bandwidth=0.25 latency=0.001
 ///   crash device=5 at=12.0
+///   rejoin device=5 at=30.0
 ///
 /// Throws dapple::Error on malformed input.
 FaultScript ParseFaultScript(const std::string& text);
+
+/// Time the outage opened by `crash` ends: the start of the closest later
+/// rejoin of the same device, +inf when the crash is permanent. `crash`
+/// must be a kDeviceCrash event of `script`.
+TimeSec RejoinTimeAfter(const FaultScript& script, const FaultEvent& crash);
 
 struct RandomFaultOptions {
   /// Events are placed in [0, horizon).

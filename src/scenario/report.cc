@@ -1,0 +1,142 @@
+#include "scenario/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "fault/report.h"
+#include "obs/json.h"
+
+namespace dapple::scenario {
+
+namespace {
+
+double FiniteOr(double v, double fallback) { return std::isfinite(v) ? v : fallback; }
+
+void WriteEpisode(obs::JsonWriter& w, const EpisodeReport& report) {
+  w.BeginObject();
+  w.Field("seed", static_cast<std::int64_t>(report.seed));
+  w.Field("churn", ToString(report.churn));
+  w.Field("policy", fault::ToString(report.fault.policy));
+  w.Field("preemptions", report.preemptions);
+  w.Field("rejoins", report.rejoins);
+  w.Field("slowdown_windows", report.slowdown_windows);
+  w.Field("utilization", report.utilization);
+  w.Key("experiment").BeginObject();
+  w.Field("final_plan", report.fault.final_plan);
+  w.Field("horizon", report.fault.horizon);
+  w.Field("iterations_completed", report.fault.iterations_completed);
+  w.Field("goodput", report.fault.goodput);
+  w.Field("goodput_loss", report.fault.goodput_loss);
+  w.Field("recovered", report.fault.recovered);
+  w.Field("time_to_recover", FiniteOr(report.fault.time_to_recover, -1.0));
+  w.Field("replans", report.fault.replans);
+  w.Field("checkpoints", report.fault.checkpoints);
+  w.Field("restores", report.fault.restores);
+  w.Field("iterations_lost", report.fault.iterations_lost);
+  if (report.fault.scale_ups > 0) {
+    w.Field("scale_ups", report.fault.scale_ups);
+    w.Field("max_scale_up_rollback", report.fault.max_scale_up_rollback);
+  }
+  w.Key("faults").BeginArray();
+  for (const fault::FaultEvent& e : report.fault.script.events) w.Value(e.ToString());
+  w.EndArray();
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ToJson(const EpisodeReport& report) {
+  obs::JsonWriter w;
+  WriteEpisode(w, report);
+  return w.str();
+}
+
+std::string ToText(const EpisodeReport& report) {
+  std::ostringstream os;
+  char line[256];
+  os << "episode seed=" << report.seed << " churn=" << ToString(report.churn) << "\n";
+  std::snprintf(line, sizeof(line), "  %-22s %4d preemptions, %d rejoins, %d slowdowns\n",
+                "churn stream", report.preemptions, report.rejoins,
+                report.slowdown_windows);
+  os << line;
+  std::snprintf(line, sizeof(line), "  %-22s %12.2f %%\n", "utilization",
+                100.0 * report.utilization);
+  os << line;
+  os << fault::ToText(report.fault);
+  return os.str();
+}
+
+std::string ToChromeTrace(const EpisodeReport& report) {
+  return fault::ToChromeTrace(report.fault);
+}
+
+std::string ToJson(const std::vector<EpisodeReport>& reports) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("episodes").BeginArray();
+  for (const EpisodeReport& report : reports) WriteEpisode(w, report);
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string ToJson(const CoScheduleReport& report) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("jobs").BeginArray();
+  for (const JobAssignment& job : report.jobs) {
+    w.BeginObject();
+    w.Field("name", job.name);
+    w.Field("server_begin", job.server_begin);
+    w.Field("servers", job.servers);
+    w.Field("plan", job.plan.ToString());
+    w.Field("iteration_time", job.iteration_time);
+    w.Field("makespan", job.makespan);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("results").BeginObject();
+  w.Field("aggregate_makespan", report.aggregate_makespan);
+  w.Field("naive_even_makespan", report.naive_even_makespan);
+  w.Field("utilization", report.utilization);
+  w.Field("preemptions", report.preemptions);
+  w.Field("greedy_steps", report.greedy_steps);
+  w.Field("exchange_moves", report.exchange_moves);
+  w.Field("cache_hits", static_cast<std::int64_t>(report.cache_hits));
+  w.Field("cache_misses", static_cast<std::int64_t>(report.cache_misses));
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string ToText(const CoScheduleReport& report) {
+  std::ostringstream os;
+  char line[256];
+  os << "co-schedule: " << report.jobs.size() << " jobs\n";
+  for (const JobAssignment& job : report.jobs) {
+    std::snprintf(line, sizeof(line), "  %-12s servers [%d, %d)  iter %10.6g s  makespan %10.6g s  %s\n",
+                  job.name.c_str(), job.server_begin, job.server_begin + job.servers,
+                  job.iteration_time, job.makespan, job.plan.ToString().c_str());
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "  %-22s %12.6g s\n", "aggregate makespan",
+                report.aggregate_makespan);
+  os << line;
+  std::snprintf(line, sizeof(line), "  %-22s %12.6g s\n", "naive even split",
+                report.naive_even_makespan);
+  os << line;
+  std::snprintf(line, sizeof(line), "  %-22s %12.2f %%\n", "utilization",
+                100.0 * report.utilization);
+  os << line;
+  std::snprintf(line, sizeof(line), "  %-22s %4d greedy, %d exchanges, %d preemptions\n",
+                "search", report.greedy_steps, report.exchange_moves, report.preemptions);
+  os << line;
+  std::snprintf(line, sizeof(line), "  %-22s %4ld hits / %ld misses\n", "plan cache",
+                report.cache_hits, report.cache_misses);
+  os << line;
+  return os.str();
+}
+
+}  // namespace dapple::scenario

@@ -1,0 +1,37 @@
+// Exporters for scenario-layer results: deterministic JSON (golden-testable
+// byte for byte), aligned-column text for terminals, and — for episodes —
+// the fault layer's Chrome trace of the underlying recovery timeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/coscheduler.h"
+#include "scenario/episode.h"
+
+namespace dapple::scenario {
+
+/// Deterministic JSON for one episode: churn metadata wrapped around the
+/// fault report's own fields (obs::JsonWriter formatting).
+std::string ToJson(const EpisodeReport& report);
+
+/// Aligned-column text rendering for terminals.
+std::string ToText(const EpisodeReport& report);
+
+/// Chrome trace of the episode's recovery timeline and fault windows —
+/// exactly fault::ToChromeTrace of the underlying experiment, so a
+/// rolling-maintenance episode shows outage windows closing at each rejoin
+/// and the elastic-up scale-up cutovers as timeline slices.
+std::string ToChromeTrace(const EpisodeReport& report);
+
+/// Deterministic JSON for a sweep: one episode object per entry, in order.
+std::string ToJson(const std::vector<EpisodeReport>& reports);
+
+/// Deterministic JSON for a co-schedule: the split, per-job assignments and
+/// the aggregate/naive-even comparison.
+std::string ToJson(const CoScheduleReport& report);
+
+/// Aligned-column text rendering of a co-schedule.
+std::string ToText(const CoScheduleReport& report);
+
+}  // namespace dapple::scenario

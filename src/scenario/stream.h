@@ -1,0 +1,70 @@
+// Seeded stochastic fault streams over the fault/script.h DSL: long-horizon
+// churn episodes instead of hand-written one-shot scripts. Two arrival
+// models cover the production failure modes the ROADMAP names:
+//
+//   kSpotChurn          — exponential (Poisson) preemption arrivals. Each
+//                         preemption fail-stops one device; most outages end
+//                         with a rejoin after a uniform outage duration (a
+//                         spot instance returning), some are permanent.
+//   kRollingMaintenance — periodic per-server drain windows walking round-
+//                         robin across the cluster: crash at the window
+//                         open, rejoin at the window close.
+//
+// Both models optionally sprinkle transient slowdown windows on top as
+// background straggler noise. Generation draws from its own salted
+// side-stream (kChurnStreamSalt), so adding this generator shifts none of
+// the repository's pinned fuzz seeds, and every script round-trips through
+// ParseFaultScript/ToString byte-stably like any hand-written one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/script.h"
+#include "topo/cluster.h"
+
+namespace dapple::scenario {
+
+enum class ChurnModel { kSpotChurn, kRollingMaintenance };
+
+const char* ToString(ChurnModel model);
+/// Parses "spot" / "rolling"; throws dapple::Error otherwise.
+ChurnModel ParseChurnModel(const std::string& name);
+
+struct ChurnOptions {
+  /// Events are placed in [0, horizon); a rejoin that would land beyond the
+  /// horizon is dropped (the outage is permanent as far as the episode can
+  /// tell).
+  TimeSec horizon = 60.0;
+
+  // --- kSpotChurn ---
+  /// Mean preemption arrivals per second (exponential inter-arrival).
+  double preempt_rate = 0.05;
+  /// Outage duration drawn uniformly from [min_outage, max_outage).
+  TimeSec min_outage = 5.0;
+  TimeSec max_outage = 15.0;
+  /// Probability a preempted device rejoins after its outage; otherwise the
+  /// crash is permanent.
+  double rejoin_probability = 0.9;
+
+  // --- kRollingMaintenance ---
+  /// One server enters maintenance every `maintenance_period` seconds,
+  /// walking round-robin from a seeded starting server.
+  TimeSec maintenance_period = 20.0;
+  TimeSec drain_duration = 5.0;
+
+  // --- both ---
+  /// Probability of one background straggler window per generated fault
+  /// (slowdown 0.4x–0.9x, duration up to a quarter horizon). 0 disables.
+  double slowdown_probability = 0.0;
+};
+
+/// Derives a whole churn episode's fault script from one 64-bit seed.
+/// Deterministic in (seed, cluster shape, model, options); validated
+/// against the cluster before returning. Spot churn that draws an empty
+/// arrival sequence forces one preemption mid-horizon: a churn episode
+/// without churn measures nothing.
+fault::FaultScript GenerateChurnScript(std::uint64_t seed, const topo::Cluster& cluster,
+                                       ChurnModel model, const ChurnOptions& options = {});
+
+}  // namespace dapple::scenario

@@ -1,0 +1,96 @@
+// Golden-file test for the scenario layer's Chrome trace: a seeded
+// rolling-maintenance episode under the elastic-up policy must serialize
+// byte-for-byte. The trace pins the pieces that make elastic-up different
+// from the legacy policies — outage windows that *close* at each rejoin
+// instead of running to the horizon, zero-width rejoin markers, and the
+// scale-up cutover rows on the recovery track.
+//
+// To regenerate after an intentional change:
+//
+//   DAPPLE_REGEN_GOLDEN=1 ctest -L golden
+//
+// then review the diffs under tests/golden/ by hand.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/units.h"
+#include "model/zoo.h"
+#include "planner/dp_planner.h"
+#include "scenario/episode.h"
+#include "scenario/report.h"
+#include "topo/cluster.h"
+
+namespace dapple::scenario {
+namespace {
+
+std::string GoldenPath(const char* file) {
+  return std::string(DAPPLE_GOLDEN_DIR) + "/" + file;
+}
+
+void CompareAgainstGolden(const std::string& rendered, const std::string& path) {
+  if (std::getenv("DAPPLE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << path << "; review the diff";
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with DAPPLE_REGEN_GOLDEN=1)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  EXPECT_EQ(rendered, golden.str())
+      << "output drifted from " << path
+      << "; if intentional, regenerate with DAPPLE_REGEN_GOLDEN=1 and review";
+}
+
+EpisodeReport RunRollingElasticUpEpisode() {
+  // Exact-representable layer times (2 ms / 4 ms) as in trace_golden_test.
+  const auto m = model::MakeUniformSynthetic(6, 0.002, 0.004, 1_MiB, 1'000'000);
+  const topo::Cluster cluster = topo::MakeConfigB(3);
+  planner::PlannerOptions po;
+  po.global_batch_size = 8;
+  po.keep_alternatives = 0;
+  const planner::ParallelPlan plan = planner::DapplePlanner(m, cluster, po).Plan().plan;
+
+  EpisodeOptions options;
+  options.seed = 7;
+  options.churn = ChurnModel::kRollingMaintenance;
+  options.churn_options.horizon = 24.0;
+  options.churn_options.maintenance_period = 8.0;
+  options.churn_options.drain_duration = 4.0;
+  options.policy = fault::RecoveryPolicy::kElasticUp;
+  options.fault.build.global_batch_size = 8;
+  options.fault.planner.keep_alternatives = 0;
+  // Exact-representable recovery costs sized well below the 4 s drains.
+  options.fault.checkpoint_cost = 0.015625;
+  options.fault.restore_cost = 0.25;
+  options.fault.detect_latency = 0.125;
+  options.fault.replan_cost = 0.125;
+  return RunEpisode(m, cluster, plan, options);
+}
+
+TEST(ScenarioGoldenTest, RollingMaintenanceElasticUpTraceMatchesGolden) {
+  const EpisodeReport report = RunRollingElasticUpEpisode();
+  // Sanity before byte-comparison: the episode must actually exercise the
+  // rejoin-and-scale-up path, or the golden pins a trivial timeline.
+  EXPECT_GE(report.rejoins, 1);
+  EXPECT_GE(report.fault.scale_ups, 1);
+  EXPECT_GE(report.preemptions, 2);
+  CompareAgainstGolden(ToChromeTrace(report),
+                       GoldenPath("scenario_trace_rolling_elastic_up.json"));
+}
+
+TEST(ScenarioGoldenTest, RollingMaintenanceEpisodeJsonMatchesGolden) {
+  CompareAgainstGolden(ToJson(RunRollingElasticUpEpisode()),
+                       GoldenPath("scenario_episode_rolling_elastic_up.json"));
+}
+
+}  // namespace
+}  // namespace dapple::scenario

@@ -29,6 +29,7 @@ benches=(
   bench_sim_engine
   bench_memory_cap
   bench_serve
+  bench_scenario
 )
 
 echo "=== configure ${build}"

@@ -11,23 +11,29 @@
 #   full           — the whole registered suite, which adds the `-L fuzz`
 #                    randomized sweeps and the `-L golden` byte-stability
 #                    tests (pushes to main)
-#   perf-smoke     — `ctest -L perf-smoke`: the planner and simulator
-#                    determinism sweeps (reference vs arena vs SoA engines
-#                    vs the batched driver, byte-identical), the --quick
-#                    planner-scaling, sim-engine and serve benches (the
+#   perf-smoke     — `ctest -L perf-smoke`: the planner, simulator and
+#                    scenario determinism sweeps (reference vs arena vs
+#                    SoA engines vs the batched driver, and churn-episode /
+#                    co-schedule reports at every thread count — all
+#                    byte-identical), the --quick planner-scaling,
+#                    sim-engine, serve and scenario benches (the
 #                    sim-engine bench also fences the SoA engine against
 #                    regressing below the arena engine and the analytic
-#                    pre-filter against dropping the sim-best candidate),
-#                    the serve daemon smoke (scripted request mix against
-#                    a spawned `dapple serve`), and reduced fuzz sweeps —
-#                    the schedule-family sweep covering every
-#                    ScheduleKind, the memory-cap sweep (plan under a
-#                    random per-device cap -> refuse or fit, never OOM)
-#                    and the ranking-recall sweep (prefilter rank-1
-#                    recall == 100%) (seconds; runs on the plain tree
-#                    only, sanitizers would distort the timing columns —
-#                    the sweeps themselves also run under ASan in the
-#                    unit tier)
+#                    pre-filter against dropping the sim-best candidate;
+#                    the scenario bench fences elastic-up against losing
+#                    to sync-stall on churn and the co-scheduler against
+#                    the naive even split), the serve daemon smoke
+#                    (scripted request mix against a spawned `dapple
+#                    serve`), and reduced fuzz sweeps — the
+#                    schedule-family sweep covering every ScheduleKind,
+#                    the memory-cap sweep (plan under a random per-device
+#                    cap -> refuse or fit, never OOM), the ranking-recall
+#                    sweep (prefilter rank-1 recall == 100%) and the
+#                    scenario sweep (churn model x policy x family; zero
+#                    validator violations, zero OOM plans) (seconds; runs
+#                    on the plain tree only, sanitizers would distort the
+#                    timing columns — the sweeps themselves also run
+#                    under ASan in the unit tier)
 #
 # Wider sweeps stay opt-in: `DAPPLE_FUZZ_ITERATIONS=100000 ctest -L fuzz`,
 # or `tools/dapple_fuzz --iterations 100000` / `--faults` / `--memory-cap`

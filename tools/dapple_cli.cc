@@ -25,7 +25,7 @@
 //       (identical bytes, fewer simulations — DAPPLE's flat curve collapses
 //       to one).
 //   dapple faults <model> <config> <servers> <gbs>
-//              [--plan FILE] [--policy stall|checkpoint|replan|all]
+//              [--plan FILE] [--policy stall|checkpoint|replan|elastic-up|all]
 //              [--script FILE] [--script-text "..."] [--seed N]
 //              [--horizon T] [--checkpoint-period N]
 //              [--json FILE] [--trace FILE.json] [--sim-threads N]
@@ -33,6 +33,15 @@
 //       generator) and measure what each recovery policy salvages. The
 //       per-policy experiments are independent, so --sim-threads fans them
 //       across a worker pool with byte-identical reports at every N.
+//   dapple scenario <model> <config> <servers> <gbs>
+//              [--jobs N] [--episodes N] [--seed N] [--horizon T]
+//              [--churn spot|rolling] [--policy stall|checkpoint|replan|elastic-up|all]
+//              [--json FILE] [--trace FILE.json] [--sim-threads N]
+//       Play seeded long-horizon churn episodes (spot preemptions with
+//       rejoins, or rolling maintenance drains) against each recovery
+//       policy and compare what they salvage; with --jobs N > 1 also run
+//       the multi-job co-scheduler, splitting the cluster's servers across
+//       N concurrent jobs against the naive even split.
 //   dapple serve [--stdio] [--socket PATH] [--tcp PORT] [--workers N]
 //              [--cache-entries N] [--max-batch N] [--max-connections N]
 //       Run the planner as a service: newline-delimited JSON requests in,
@@ -50,6 +59,9 @@
 #include "common/table.h"
 #include "dapple/dapple.h"
 #include "obs/metrics.h"
+#include "scenario/coscheduler.h"
+#include "scenario/episode.h"
+#include "scenario/report.h"
 #include "serve/server.h"
 #include "serve/transport.h"
 #include "sim/chrome_trace.h"
@@ -144,13 +156,20 @@ int Usage() {
                "              [--sim-threads N] [--prefilter=off|auto]\n"
                "  dapple report --fig3 [--json FILE]\n"
                "  dapple faults <model> <A|B|C> <servers> <gbs> [--plan FILE]\n"
-               "              [--policy stall|checkpoint|replan|all]\n"
+               "              [--policy stall|checkpoint|replan|elastic-up|all]\n"
                "              [--script FILE] [--script-text \"...\"] [--seed N]\n"
                "              [--horizon T] [--checkpoint-period N]\n"
                "              [--json FILE] [--trace FILE.json]\n"
                "              [--planner-threads N] [--sim-threads N]\n"
                "              (--sim-threads fans independent simulations over a\n"
                "               worker pool; output is identical at every N)\n"
+               "  dapple scenario <model> <A|B|C> <servers> <gbs>\n"
+               "              [--jobs N] [--episodes N] [--seed N] [--horizon T]\n"
+               "              [--churn spot|rolling]\n"
+               "              [--policy stall|checkpoint|replan|elastic-up|all]\n"
+               "              [--json FILE] [--trace FILE.json] [--sim-threads N]\n"
+               "              (seeded churn episodes per policy; --jobs N > 1 also\n"
+               "               co-schedules N jobs under the shared server budget)\n"
                "  dapple serve [--stdio] [--socket PATH] [--tcp PORT]\n"
                "              [--workers N] [--cache-entries N] [--max-batch N]\n"
                "              [--max-connections N]\n"
@@ -546,8 +565,7 @@ int CmdFaults(int argc, char** argv) {
 
   std::vector<fault::RecoveryPolicy> policies;
   if (policy_arg == "all") {
-    policies = {fault::RecoveryPolicy::kSyncStall, fault::RecoveryPolicy::kCheckpointRestart,
-                fault::RecoveryPolicy::kElasticReplan};
+    policies = fault::AllRecoveryPolicies();
   } else {
     policies = {fault::ParseRecoveryPolicy(policy_arg)};
   }
@@ -585,6 +603,128 @@ int CmdFaults(int argc, char** argv) {
     }
     doc += "]";
     return WriteJsonFile(json_path, doc);
+  }
+  return 0;
+}
+
+int CmdScenario(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const model::ModelProfile m = model::ModelByName(argv[0]);
+  const topo::Cluster cluster = ClusterFor(argv[1][0], std::atoi(argv[2]));
+  const long gbs = std::atol(argv[3]);
+
+  std::string json_path, trace_path, v;
+  std::string policy_arg = "all";
+  int jobs = 1;
+  int episodes = 4;
+  std::uint64_t seed = 1;
+  int sim_threads = 1;
+  scenario::ChurnModel churn = scenario::ChurnModel::kSpotChurn;
+  scenario::ChurnOptions churn_options;
+  fault::FaultOptions fault_options;
+  fault_options.build.global_batch_size = gbs;
+  FlagParser flags(argc - 4, argv + 4);
+  while (!flags.Done()) {
+    if (flags.MatchValue("--jobs", &v)) {
+      jobs = std::atoi(v.c_str());
+    } else if (flags.MatchValue("--episodes", &v)) {
+      episodes = std::atoi(v.c_str());
+    } else if (flags.MatchValue("--seed", &v)) {
+      seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flags.MatchValue("--horizon", &v)) {
+      churn_options.horizon = std::atof(v.c_str());
+    } else if (flags.MatchValue("--churn", &v)) {
+      churn = scenario::ParseChurnModel(v);
+    } else if (flags.MatchValue("--policy", &v)) {
+      policy_arg = v;
+    } else if (flags.MatchValue("--json", &v)) {
+      json_path = v;
+    } else if (flags.MatchValue("--trace", &v)) {
+      trace_path = v;
+    } else if (flags.MatchValue("--sim-threads", &v)) {
+      sim_threads = std::atoi(v.c_str());
+    } else {
+      flags.Unknown();
+    }
+  }
+  if (!flags.ok()) return Usage();
+  if (episodes < 1 || churn_options.horizon <= 0.0) {
+    std::fprintf(stderr, "--episodes and --horizon must be positive\n");
+    return Usage();
+  }
+
+  Session session(m, cluster);
+  const planner::ParallelPlan plan = session.Plan(gbs).plan;
+
+  std::vector<fault::RecoveryPolicy> policies;
+  if (policy_arg == "all") {
+    policies = fault::AllRecoveryPolicies();
+  } else {
+    policies = {fault::ParseRecoveryPolicy(policy_arg)};
+  }
+
+  std::printf("churn=%s, %d episode(s) from seed %llu, horizon %.6g s, plan %s\n",
+              scenario::ToString(churn), episodes,
+              static_cast<unsigned long long>(seed), churn_options.horizon,
+              plan.ToString().c_str());
+
+  std::vector<scenario::EpisodeReport> all_reports;
+  AsciiTable table({"Policy", "Iters", "Preempt", "Rejoin", "Scale-up", "Goodput", "Util"});
+  for (const fault::RecoveryPolicy policy : policies) {
+    std::vector<scenario::EpisodeOptions> batch;
+    for (int i = 0; i < episodes; ++i) {
+      scenario::EpisodeOptions o;
+      o.seed = seed + static_cast<std::uint64_t>(i);
+      o.churn = churn;
+      o.churn_options = churn_options;
+      o.policy = policy;
+      o.fault = fault_options;
+      batch.push_back(o);
+    }
+    const std::vector<scenario::EpisodeReport> reports =
+        scenario::RunEpisodeSweep(m, cluster, plan, batch, sim_threads);
+    long iters = 0;
+    int preempt = 0, rejoin = 0, scale_ups = 0;
+    double goodput = 0.0, util = 0.0;
+    for (const scenario::EpisodeReport& r : reports) {
+      iters += r.fault.iterations_completed;
+      preempt += r.preemptions;
+      rejoin += r.rejoins;
+      scale_ups += r.fault.scale_ups;
+      goodput += r.fault.goodput;
+      util += r.utilization;
+    }
+    const double n = static_cast<double>(reports.size());
+    table.AddRow({fault::ToString(policy), AsciiTable::Int(static_cast<int>(iters)),
+                  AsciiTable::Int(preempt), AsciiTable::Int(rejoin),
+                  AsciiTable::Int(scale_ups), AsciiTable::Num(goodput / n, 2) + "/s",
+                  AsciiTable::Int(static_cast<int>(100.0 * util / n)) + "%"});
+    for (const scenario::EpisodeReport& r : reports) all_reports.push_back(r);
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  if (!trace_path.empty()) {
+    // The last policy's last episode — with the default policy order that is
+    // an elastic-up episode, scale-up cutovers and all.
+    WriteJsonFile(trace_path, scenario::ToChromeTrace(all_reports.back()));
+  }
+
+  if (jobs > 1) {
+    // N concurrent jobs compete for the same server budget: the same model
+    // with staggered remaining-iteration counts, so the optimal split is
+    // deliberately uneven and the search has something to find.
+    std::vector<scenario::JobSpec> specs;
+    for (int j = 0; j < jobs; ++j) {
+      specs.push_back(scenario::JobSpec{"job" + std::to_string(j), m, gbs, 40 * (jobs - j)});
+    }
+    scenario::CoScheduleOptions cosched;
+    cosched.sim_threads = sim_threads;
+    const scenario::CoScheduleReport report =
+        scenario::CoSchedule(cluster, specs, cosched);
+    std::printf("%s", scenario::ToText(report).c_str());
+    if (!json_path.empty()) return WriteJsonFile(json_path, scenario::ToJson(report));
+  } else if (!json_path.empty()) {
+    return WriteJsonFile(json_path, scenario::ToJson(all_reports));
   }
   return 0;
 }
@@ -656,6 +796,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "run") == 0) return CmdRun(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "report") == 0) return CmdReport(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "faults") == 0) return CmdFaults(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "scenario") == 0) return CmdScenario(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "serve") == 0) return CmdServe(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -27,6 +27,14 @@
 //       must pick a winner whose simulated makespan equals the best over
 //       every candidate simulated in full (100% rank-1 recall).
 //       --prefilter=off simulates everything in both legs (baseline).
+//   dapple_fuzz --scenario [--iterations N] [--seed BASE] [--verbose]
+//   dapple_fuzz --scenario --repro SEED
+//       Scenario mode: each seed derives a long-horizon churn episode
+//       (uniform over churn model x recovery policy x schedule family, on
+//       scenario-salted side-streams); every pipeline the episode builds —
+//       initial, remapped, replanned, scale-up — must pass the validator
+//       with zero OOM tasks, the churn script must round-trip through the
+//       DSL, and elastic-up rollbacks must stay checkpoint-bounded.
 //
 // Each case derives entirely from its 64-bit seed, so any failure printed
 // by the batch mode reproduces exactly with --repro.
@@ -38,6 +46,7 @@
 #include <vector>
 
 #include "check/fuzz.h"
+#include "scenario/fuzz.h"
 
 using namespace dapple;
 
@@ -46,11 +55,12 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  dapple_fuzz [--faults|--memory-cap|--ranking] [--iterations N]\n"
-               "              [--seed BASE] [--verbose] [--threads N]  (0 = hardware\n"
-               "               concurrency; results are identical at every N)\n"
+               "  dapple_fuzz [--faults|--memory-cap|--ranking|--scenario]\n"
+               "              [--iterations N] [--seed BASE] [--verbose]\n"
+               "              [--threads N]  (0 = hardware concurrency; results\n"
+               "               are identical at every N)\n"
                "  dapple_fuzz --ranking [--prefilter=off|auto]\n"
-               "  dapple_fuzz [--faults|--memory-cap|--ranking] --repro SEED\n");
+               "  dapple_fuzz [--faults|--memory-cap|--ranking|--scenario] --repro SEED\n");
   return 2;
 }
 
@@ -217,6 +227,66 @@ int RunRankingSweep(std::uint64_t base, long iterations, bool verbose, int threa
   return 0;
 }
 
+int ReproScenario(std::uint64_t seed) {
+  const scenario::ScenarioFuzzCase c = scenario::MakeScenarioFuzzCase(seed);
+  std::printf("%s\n", c.Describe().c_str());
+  const scenario::ScenarioFuzzOutcome out = scenario::RunScenarioFuzzCase(c);
+  if (!out.ok()) {
+    std::printf("%s", out.Summary().c_str());
+    return 1;
+  }
+  std::printf("ok: %d pipelines validated, %d iterations, %d preemptions, "
+              "%d rejoins, %d scale-ups\n",
+              out.pipelines_validated, out.iterations_completed, out.preemptions,
+              out.rejoins, out.scale_ups);
+  return 0;
+}
+
+int RunScenarioSweep(std::uint64_t base, long iterations, bool verbose, int threads) {
+  const std::vector<std::uint64_t> seeds = SeedRange(base, iterations);
+  if (verbose) {
+    for (std::uint64_t seed : seeds) {
+      std::printf("%s\n", scenario::MakeScenarioFuzzCase(seed).Describe().c_str());
+    }
+  }
+  const std::vector<scenario::ScenarioFuzzOutcome> outcomes =
+      scenario::RunScenarioFuzzSweep(seeds, threads);
+  long pipelines = 0, preemptions = 0, rejoins = 0, scale_ups = 0;
+  // Per-mode and per-policy case counts, so a sweep cannot silently skip a
+  // churn model or a policy.
+  long spot = 0, rolling = 0;
+  const std::vector<fault::RecoveryPolicy> policies = fault::AllRecoveryPolicies();
+  std::vector<long> policy_counts(policies.size(), 0);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const scenario::ScenarioFuzzOutcome& out = outcomes[i];
+    if (!out.ok()) {
+      std::fprintf(stderr, "%s  case: %s\n", out.Summary().c_str(),
+                   scenario::MakeScenarioFuzzCase(seeds[i]).Describe().c_str());
+      return 1;
+    }
+    pipelines += out.pipelines_validated;
+    preemptions += out.preemptions;
+    rejoins += out.rejoins;
+    scale_ups += out.scale_ups;
+    (out.churn == scenario::ChurnModel::kSpotChurn ? spot : rolling) += 1;
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      if (out.policy == policies[p]) ++policy_counts[p];
+    }
+  }
+  std::printf("%ld scenario cases ok (seeds %llu..%llu): %ld pipelines validated, "
+              "%ld preemptions, %ld rejoins, %ld scale-ups, 0 OOM\n",
+              iterations, static_cast<unsigned long long>(base),
+              static_cast<unsigned long long>(base + iterations - 1), pipelines,
+              preemptions, rejoins, scale_ups);
+  std::printf("cases per churn model: spot=%ld, rolling=%ld; per policy:", spot, rolling);
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    std::printf("%s %s=%ld", p ? "," : "", fault::ToString(policies[p]),
+                policy_counts[p]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
 int Repro(std::uint64_t seed) {
   const check::FuzzCase c = check::MakeFuzzCase(seed);
   std::printf("%s\n", c.Describe().c_str());
@@ -244,6 +314,7 @@ int main(int argc, char** argv) {
   bool faults = false;
   bool memory_cap = false;
   bool ranking = false;
+  bool scenario_mode = false;
   bool prefilter = true;
   int threads = 1;
   for (int i = 1; i < argc; ++i) {
@@ -253,6 +324,8 @@ int main(int argc, char** argv) {
       memory_cap = true;
     } else if (std::strcmp(argv[i], "--ranking") == 0) {
       ranking = true;
+    } else if (std::strcmp(argv[i], "--scenario") == 0) {
+      scenario_mode = true;
     } else if (std::strcmp(argv[i], "--prefilter=off") == 0) {
       prefilter = false;
     } else if (std::strcmp(argv[i], "--prefilter=auto") == 0) {
@@ -264,8 +337,10 @@ int main(int argc, char** argv) {
         if (std::strcmp(argv[j], "--faults") == 0) faults = true;
         if (std::strcmp(argv[j], "--memory-cap") == 0) memory_cap = true;
         if (std::strcmp(argv[j], "--ranking") == 0) ranking = true;
+        if (std::strcmp(argv[j], "--scenario") == 0) scenario_mode = true;
         if (std::strcmp(argv[j], "--prefilter=off") == 0) prefilter = false;
       }
+      if (scenario_mode) return ReproScenario(seed);
       if (ranking) return ReproRanking(seed, prefilter);
       if (memory_cap) return ReproMemoryCap(seed);
       return faults ? ReproFaults(seed) : Repro(seed);
@@ -283,9 +358,10 @@ int main(int argc, char** argv) {
   }
   if (iterations <= 0 || threads < 0 ||
       (static_cast<int>(faults) + static_cast<int>(memory_cap) +
-       static_cast<int>(ranking)) > 1) {
+       static_cast<int>(ranking) + static_cast<int>(scenario_mode)) > 1) {
     return Usage();
   }
+  if (scenario_mode) return RunScenarioSweep(base, iterations, verbose, threads);
   if (ranking) return RunRankingSweep(base, iterations, verbose, threads, prefilter);
   if (memory_cap) return RunMemoryCapSweep(base, iterations, verbose, threads);
   if (faults) return RunFaultSweep(base, iterations, verbose, threads);
